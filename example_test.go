@@ -1,0 +1,58 @@
+package flashfc_test
+
+import (
+	"fmt"
+
+	"flashfc"
+)
+
+// Example demonstrates the core flow: build a machine, inject a node
+// failure, run the distributed recovery algorithm, verify containment.
+func Example() {
+	cfg := flashfc.DefaultMachineConfig(8)
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	m := flashfc.NewMachine(cfg)
+
+	m.InjectAt(flashfc.Fault{Type: flashfc.NodeFailure, Node: 5}, flashfc.Millisecond)
+	m.E.At(flashfc.Millisecond, func() {
+		m.Nodes[0].CPU.Submit(flashfc.TouchOp(m, 5))
+	})
+	if !m.RunUntilRecovered(5 * flashfc.Second) {
+		fmt.Println("recovery incomplete")
+		return
+	}
+	fmt.Println("participants:", m.Aggregate().Participants)
+	fmt.Println("containment ok:", m.VerifyMemory(0, 1).OK())
+	// Output:
+	// participants: 7
+	// containment ok: true
+}
+
+// ExampleRunValidation reproduces one Table 5.3 experiment.
+func ExampleRunValidation() {
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	cfg.FillLines = 48
+	r := flashfc.RunValidation(cfg, flashfc.RouterFailure, 7)
+	fmt.Println("passed:", r.OK())
+	// Output:
+	// passed: true
+}
+
+// ExampleNewHive runs a miniature §5.1 end-to-end scenario.
+func ExampleNewHive() {
+	m := flashfc.NewMachine(flashfc.HiveMachineConfig(4, 1, 256<<10, 16<<10, 5))
+	h := flashfc.NewHive(m, flashfc.DefaultHiveConfig(4))
+	mk := flashfc.NewParallelMake(h, flashfc.DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	for m.E.Now() < 5*flashfc.Second && !idle {
+		m.E.RunUntil(m.E.Now() + flashfc.Millisecond)
+	}
+	o := mk.Evaluate()
+	fmt.Println("compiles completed:", o.Completed)
+	// Output:
+	// compiles completed: 3
+}

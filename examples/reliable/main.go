@@ -1,0 +1,39 @@
+// Reliable demonstrates the §6.3 variant: a machine whose interconnect
+// provides HAL-style hardware end-to-end reliability. The recovery
+// algorithm then skips the global cache flush — caches stay warm — and a
+// writeback destroyed by the failure is retransmitted by the fabric instead
+// of becoming an incoherent line.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashfc"
+)
+
+func run(reliable bool) (p4 flashfc.Time, incoherent int) {
+	cfg := flashfc.DefaultMachineConfig(8)
+	cfg.Seed = 7
+	cfg.ReliableInterconnect = reliable
+	m := flashfc.NewMachine(cfg)
+	m.InjectAt(flashfc.Fault{Type: flashfc.NodeFailure, Node: 5}, flashfc.Millisecond)
+	m.E.At(flashfc.Millisecond, func() {
+		m.Nodes[0].CPU.Submit(flashfc.TouchOp(m, 5))
+	})
+	if !m.RunUntilRecovered(10 * flashfc.Second) {
+		log.Fatal("recovery incomplete")
+	}
+	pt := m.Aggregate()
+	return pt.P4Time(), pt.MaxIncoher
+}
+
+func main() {
+	flushedP4, _ := run(false)
+	flushFreeP4, _ := run(true)
+	fmt.Println("coherence-recovery phase after a node failure (8 nodes, 1 MB L2/mem):")
+	fmt.Printf("  standard FLASH (flush + sweep):      %v\n", flushedP4)
+	fmt.Printf("  HAL-style reliable (sweep only):     %v\n", flushFreeP4)
+	fmt.Printf("  flush eliminated: %.1fx faster P4, and survivors keep warm caches\n",
+		float64(flushedP4)/float64(flushFreeP4))
+}

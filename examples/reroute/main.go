@@ -1,0 +1,55 @@
+// Reroute demonstrates interconnect recovery (§4.4): a link failure
+// black-holes traffic between two halves of a mesh; the recovery algorithm
+// isolates the dead link, drains the fabric, and installs deadlock-free
+// up*/down* routes around it. Traffic that was impossible before recovery
+// flows afterward.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashfc"
+)
+
+func main() {
+	m := flashfc.NewMachine(func() flashfc.MachineConfig {
+		cfg := flashfc.DefaultMachineConfig(16) // 4x4 mesh
+		cfg.MemBytes = 128 << 10
+		cfg.L2Bytes = 32 << 10
+		return cfg
+	}())
+
+	// Fail the link between routers 5 and 6 (middle of the mesh).
+	port := m.Topo.PortTo(5, 6)
+	link := m.Topo.Adjacency(5)[port].Link
+	fmt.Printf("failing link %d (%d-%d)\n", link, 5, 6)
+	m.Inject(flashfc.Fault{Type: flashfc.LinkFailure, Link: link})
+
+	// 5 -> 6 traffic is now black-holed: this read will time out and
+	// trigger the recovery algorithm (Table 4.1).
+	gotErr := make(chan error, 1)
+	m.Nodes[5].CPU.Submit(flashfc.Op{
+		Kind: flashfc.OpRead, Addr: m.Space.Base(6) + 0x80,
+		Done: func(r flashfc.Result) { gotErr <- r.Err },
+	})
+	if !m.RunUntilRecovered(5 * flashfc.Second) {
+		log.Fatal("recovery did not complete")
+	}
+	fmt.Printf("recovered in %v (no node lost: %d participants)\n",
+		m.Aggregate().Total, m.Aggregate().Participants)
+
+	// The same access now succeeds over the rerouted path.
+	ok := false
+	m.Nodes[5].Ctrl.Read(m.Space.Base(6)+0x80, func(r flashfc.Result) { ok = r.Err == nil })
+	m.E.Run()
+	if !ok {
+		log.Fatal("rerouted read failed")
+	}
+	fmt.Println("5 -> 6 traffic flows around the dead link; no data was lost:")
+	res := m.VerifyMemory(0, 4)
+	fmt.Printf("  %v\n", res)
+	if !res.OK() || res.Incoherent > 0 {
+		log.Fatal("unexpected data loss after a pure link failure")
+	}
+}

@@ -1,0 +1,296 @@
+// Package flashfc is a simulation-based reproduction of "Hardware Fault
+// Containment in Scalable Shared-Memory Multiprocessors" (Teodosiu, Baxter,
+// Govil, Chapin, Rosenblum, Horowitz — ISCA 1997): the fault-containment
+// support added to the Stanford FLASH multiprocessor and the distributed
+// four-phase recovery algorithm that restores operation after a hardware
+// fault, together with a model of the Hive operating system's containment
+// contract and the full experiment suite of the paper's evaluation section.
+//
+// The package is a façade over the internal packages:
+//
+//   - NewMachine builds a complete simulated FLASH system: mesh or
+//     hypercube interconnect with virtual lanes and source routing, MAGIC
+//     node controllers running a directory-based coherence protocol with
+//     the paper's containment features (node map, firewall, range check,
+//     vector remap, NAK counters, operation timeouts), processors, and one
+//     recovery agent per node.
+//   - A Machine implements fault injection (Table 5.2 fault classes),
+//     whole-memory verification against a ground-truth oracle (§5.2), and
+//     per-phase recovery-time aggregation (Fig 5.5/5.6).
+//   - NewHive partitions a machine into Hive cells over hardware failure
+//     units, with firewalled kernel pages, exactly-once inter-cell RPC and
+//     OS recovery (§3.3, §4.6); NewParallelMake builds the §5.1 workload.
+//   - The experiment drivers (RunValidation, RunTable53, RunEndToEnd,
+//     RunTable54, RunFig55, RunFig56L2, RunFig56Mem, RunFig57, and the
+//     ablations) regenerate every table and figure of §5.
+//
+// A minimal session:
+//
+//	cfg := flashfc.DefaultMachineConfig(16)
+//	m := flashfc.NewMachine(cfg)
+//	m.InjectAt(flashfc.Fault{Type: flashfc.NodeFailure, Node: 5}, flashfc.Millisecond)
+//	m.Nodes[0].CPU.Submit(flashfc.TouchOp(m, 5)) // detection traffic
+//	if m.RunUntilRecovered(2 * flashfc.Second) {
+//	    fmt.Println(m.Aggregate().Total) // suspension time
+//	}
+package flashfc
+
+import (
+	"flashfc/internal/coherence"
+	"flashfc/internal/experiments"
+	"flashfc/internal/fault"
+	"flashfc/internal/hive"
+	"flashfc/internal/machine"
+	"flashfc/internal/magic"
+	"flashfc/internal/proc"
+	"flashfc/internal/sim"
+	"flashfc/internal/trace"
+	"flashfc/internal/workload"
+)
+
+// Simulation time.
+type Time = sim.Time
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Machine assembly.
+type (
+	// Machine is a complete simulated FLASH system.
+	Machine = machine.Machine
+	// MachineConfig describes a machine to build.
+	MachineConfig = machine.Config
+	// MachineNode bundles one node's components.
+	MachineNode = machine.Node
+	// PhaseTimes aggregates per-phase recovery durations.
+	PhaseTimes = machine.PhaseTimes
+	// VerifyResult is the outcome of the whole-memory sweep.
+	VerifyResult = machine.VerifyResult
+	// TopoKind selects mesh or hypercube.
+	TopoKind = machine.TopoKind
+	// Addr is a physical address in the machine's global space.
+	Addr = coherence.Addr
+)
+
+// Topology kinds.
+const (
+	TopoMesh      = machine.TopoMesh
+	TopoHypercube = machine.TopoHypercube
+)
+
+// Machine configuration knobs worth noting: Config.ReliableInterconnect
+// builds the §6.3 HAL-style machine (flush-free recovery, end-to-end
+// retransmission); Config.Recovery.HardwiredController models the §6.2
+// minimum-support variant; Config.Recovery.QuorumFraction is the §4.2
+// split-brain guard.
+
+// NewMachine builds and wires a machine.
+func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
+
+// DefaultMachineConfig returns a Table 5.1-style configuration.
+func DefaultMachineConfig(nodes int) MachineConfig { return machine.DefaultConfig(nodes) }
+
+// Faults (Table 5.2).
+type (
+	// Fault is one concrete injection.
+	Fault = fault.Fault
+	// FaultType is a fault class.
+	FaultType = fault.Type
+)
+
+// Fault classes.
+const (
+	NodeFailure   = fault.NodeFailure
+	RouterFailure = fault.RouterFailure
+	LinkFailure   = fault.LinkFailure
+	InfiniteLoop  = fault.InfiniteLoop
+	FalseAlarm    = fault.FalseAlarm
+)
+
+// AllFaultTypes lists the injectable fault classes.
+func AllFaultTypes() []FaultType { return fault.AllTypes() }
+
+// PowerLoss builds the compound fault for a partial power-supply failure:
+// each listed node loses its controller, memory, router and links (§4.1).
+// Inject with Machine.InjectAll.
+func PowerLoss(nodes []int) []Fault { return fault.PowerLoss(nodes) }
+
+// CableCut builds the compound fault for a disconnected inter-cabinet
+// cable: every mesh link crossing between column x and x+1 fails (§4.1).
+func CableCut(m *Machine, x int) []Fault { return fault.CableCut(m.Topo, x) }
+
+// Processor operations.
+type (
+	// Op is a memory operation submitted to a CPU.
+	Op = proc.Op
+	// Result completes a memory operation.
+	Result = magic.Result
+)
+
+// Operation kinds.
+const (
+	OpRead          = proc.OpRead
+	OpReadExclusive = proc.OpReadExclusive
+	OpWrite         = proc.OpWrite
+)
+
+// TouchOp builds a single read of a node's memory — the minimal probe that
+// makes a quiet fault observable.
+func TouchOp(m *Machine, target int) Op { return workload.TouchOp(m, target) }
+
+// Tracer collects a machine-wide event timeline (injections, triggers,
+// phase transitions, completions); attach one via MachineConfig.Trace or
+// ValidationConfig.Trace.
+type Tracer = trace.Tracer
+
+// TraceEvent is one timeline entry.
+type TraceEvent = trace.Event
+
+// NewTracer returns a tracer retaining at most limit events (0: unlimited).
+func NewTracer(limit int) *Tracer { return trace.New(limit) }
+
+// ErrBusError terminates accesses to inaccessible, incoherent, firewalled
+// or range-protected lines.
+var ErrBusError = magic.ErrBusError
+
+// ErrAborted completes accesses cut short by recovery; reissue after.
+var ErrAborted = magic.ErrAborted
+
+// Hive operating system model.
+type (
+	// Hive is an instance of the Hive OS model over a machine.
+	Hive = hive.Hive
+	// HiveConfig tunes the Hive model.
+	HiveConfig = hive.Config
+	// Cell is one Hive kernel managing one failure unit.
+	Cell = hive.Cell
+	// Make drives the §5.1 parallel-make workload.
+	Make = hive.Make
+	// MakeConfig tunes the workload.
+	MakeConfig = hive.MakeConfig
+	// MakeOutcome is the verdict of one end-to-end run.
+	MakeOutcome = hive.Outcome
+)
+
+// NewHive attaches a Hive instance to a machine built with
+// HiveMachineConfig.
+func NewHive(m *Machine, cfg HiveConfig) *Hive { return hive.New(m, cfg) }
+
+// DefaultHiveConfig returns an experiment-calibrated Hive configuration.
+func DefaultHiveConfig(cells int) HiveConfig { return hive.DefaultConfig(cells) }
+
+// HiveMachineConfig builds the machine configuration a Hive system needs:
+// failure units matching the cells and the firewall enabled.
+func HiveMachineConfig(cells, nodesPerCell int, memBytes, l2Bytes uint64, seed int64) MachineConfig {
+	return hive.MachineConfig(cells, nodesPerCell, memBytes, l2Bytes, seed)
+}
+
+// NewParallelMake prepares the parallel-make workload on h.
+func NewParallelMake(h *Hive, cfg MakeConfig) *Make { return hive.NewMake(h, cfg) }
+
+// DefaultMakeConfig returns the standard workload sizes.
+func DefaultMakeConfig() MakeConfig { return hive.DefaultMakeConfig() }
+
+// Experiment drivers (§5 and the §4/§6 ablations).
+type (
+	// ValidationConfig shapes a §5.2 validation run.
+	ValidationConfig = experiments.ValidationConfig
+	// ValidationResult is one Table 5.3 run.
+	ValidationResult = experiments.ValidationResult
+	// Table53Row aggregates validation runs per fault type.
+	Table53Row = experiments.Table53Row
+	// ScalingConfig shapes a recovery-time measurement.
+	ScalingConfig = experiments.ScalingConfig
+	// ScalingPoint is one measured configuration.
+	ScalingPoint = experiments.ScalingPoint
+	// EndToEndConfig shapes a Hive end-to-end run.
+	EndToEndConfig = experiments.EndToEndConfig
+	// EndToEndResult is one Table 5.4 run.
+	EndToEndResult = experiments.EndToEndResult
+	// Table54Row aggregates end-to-end runs per fault type.
+	Table54Row = experiments.Table54Row
+	// Fig57Point is one suspension-time measurement.
+	Fig57Point = experiments.Fig57Point
+)
+
+// DefaultValidationConfig returns the standard §5.2 validation setup.
+func DefaultValidationConfig() ValidationConfig { return experiments.DefaultValidationConfig() }
+
+// RunValidation performs one §5.2 validation run.
+func RunValidation(cfg ValidationConfig, ft FaultType, seed int64) *ValidationResult {
+	return experiments.Validation(cfg, ft, seed)
+}
+
+// RunTable53 regenerates Table 5.3: `runs` validation experiments per fault
+// type, counting failures.
+func RunTable53(cfg ValidationConfig, runs int, seed int64) []Table53Row {
+	return experiments.Table53(cfg, runs, seed)
+}
+
+// DefaultScalingConfig returns the Fig 5.5 measurement setup for n nodes.
+func DefaultScalingConfig(nodes int) ScalingConfig { return experiments.DefaultScalingConfig(nodes) }
+
+// MeasureRecovery injects a node failure and aggregates per-phase times.
+func MeasureRecovery(cfg ScalingConfig) ScalingPoint { return experiments.MeasureRecovery(cfg) }
+
+// RunFig55 sweeps the node counts of Fig 5.5.
+func RunFig55(nodes []int, topo TopoKind, seed int64) []ScalingPoint {
+	return experiments.Fig55(nodes, topo, seed)
+}
+
+// RunFig56L2 sweeps the L2 size at 4 nodes (Fig 5.6 left).
+func RunFig56L2(l2Sizes []uint64, seed int64) []ScalingPoint {
+	return experiments.Fig56L2(l2Sizes, seed)
+}
+
+// RunFig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right).
+func RunFig56Mem(memSizes []uint64, seed int64) []ScalingPoint {
+	return experiments.Fig56Mem(memSizes, seed)
+}
+
+// DefaultEndToEndConfig returns the §5.1 end-to-end setup.
+func DefaultEndToEndConfig() EndToEndConfig { return experiments.DefaultEndToEndConfig() }
+
+// RunEndToEnd performs one Table 5.4 end-to-end experiment.
+func RunEndToEnd(cfg EndToEndConfig, ft FaultType, seed int64) *EndToEndResult {
+	return experiments.EndToEnd(cfg, ft, seed)
+}
+
+// RunTable54 regenerates Table 5.4 with the given runs per fault type.
+func RunTable54(cfg EndToEndConfig, runsPer map[FaultType]int, seed int64) []Table54Row {
+	return experiments.Table54(cfg, runsPer, seed)
+}
+
+// RunFig57 measures user-process suspension times (Fig 5.7).
+func RunFig57(nodes []int, memBytes, l2Bytes uint64, seed int64) []Fig57Point {
+	return experiments.Fig57(nodes, memBytes, l2Bytes, seed)
+}
+
+// FirewallLatency measures an intercell write-miss latency with the
+// firewall on or off (§6.2).
+func FirewallLatency(on bool, seed int64) Time { return experiments.FirewallLatency(on, seed) }
+
+// FirewallOverheadFraction returns the firewall's relative latency cost.
+func FirewallOverheadFraction(seed int64) float64 {
+	return experiments.FirewallOverheadFraction(seed)
+}
+
+// TriggerLatency measures the recovery-triggering latency with or without
+// the §4.2 speculative-ping optimization.
+func TriggerLatency(nodes int, speculative bool, seed int64) Time {
+	return experiments.TriggerLatency(nodes, speculative, seed)
+}
+
+// RecoveryDistribution summarizes per-phase recovery times across seeds.
+type RecoveryDistribution = experiments.Distribution
+
+// RunRecoveryDistribution measures recovery times over `seeds` independent
+// runs with random fault placements.
+func RunRecoveryDistribution(cfg ScalingConfig, seeds int) RecoveryDistribution {
+	return experiments.RecoveryDistribution(cfg, seeds)
+}

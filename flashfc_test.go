@@ -1,0 +1,89 @@
+package flashfc_test
+
+import (
+	"testing"
+
+	"flashfc"
+)
+
+// These tests exercise the public façade end to end, mirroring the README
+// quickstart. The heavy lifting is covered by the internal test suites.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := flashfc.DefaultMachineConfig(8)
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	m := flashfc.NewMachine(cfg)
+
+	addr := m.Space.Base(3) + 0x400
+	tok := m.Oracle.NextToken()
+	m.Nodes[1].Ctrl.Write(addr, tok, func(r flashfc.Result) {
+		if r.Err == nil {
+			m.Oracle.Wrote(addr, tok)
+		}
+	})
+	m.E.Run()
+
+	m.InjectAt(flashfc.Fault{Type: flashfc.NodeFailure, Node: 5}, flashfc.Millisecond)
+	m.E.At(flashfc.Millisecond, func() {
+		m.Nodes[0].CPU.Submit(flashfc.TouchOp(m, 5))
+	})
+	if !m.RunUntilRecovered(5 * flashfc.Second) {
+		t.Fatal("recovery did not complete")
+	}
+	pt := m.Aggregate()
+	if pt.Total <= 0 || pt.Participants != 7 {
+		t.Fatalf("aggregate = %+v", pt)
+	}
+	res := m.VerifyMemory(0, 1)
+	if !res.OK() {
+		t.Fatalf("verify: %v", res)
+	}
+}
+
+func TestPublicValidationRun(t *testing.T) {
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	cfg.FillLines = 48
+	r := flashfc.RunValidation(cfg, flashfc.NodeFailure, 5)
+	if !r.OK() {
+		t.Fatalf("validation failed: %s", r.Note)
+	}
+}
+
+func TestPublicHiveFlow(t *testing.T) {
+	mc := flashfc.HiveMachineConfig(4, 1, 256<<10, 16<<10, 3)
+	m := flashfc.NewMachine(mc)
+	h := flashfc.NewHive(m, flashfc.DefaultHiveConfig(4))
+	mk := flashfc.NewParallelMake(h, flashfc.DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	m.InjectAt(flashfc.Fault{Type: flashfc.NodeFailure, Node: 2}, flashfc.Millisecond)
+	deadline := 20 * flashfc.Second
+	for m.E.Now() < deadline && !(idle && m.Recovered() && h.OSTime > 0) {
+		m.E.RunUntil(m.E.Now() + flashfc.Millisecond)
+	}
+	o := mk.Evaluate()
+	if !o.OK() {
+		t.Fatalf("outcome: %+v", o)
+	}
+	if o.Completed != 2 || o.Excused != 1 {
+		t.Fatalf("completed=%d excused=%d", o.Completed, o.Excused)
+	}
+}
+
+func TestPublicConstantsAndHelpers(t *testing.T) {
+	if len(flashfc.AllFaultTypes()) != 5 {
+		t.Fatal("fault types")
+	}
+	if flashfc.Second != 1e9*flashfc.Nanosecond {
+		t.Fatal("time units")
+	}
+	if flashfc.ErrBusError == nil || flashfc.ErrAborted == nil {
+		t.Fatal("errors unexported")
+	}
+	if frac := flashfc.FirewallOverheadFraction(1); frac <= 0 || frac >= 0.07 {
+		t.Fatalf("firewall overhead fraction = %v", frac)
+	}
+}

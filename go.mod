@@ -1,0 +1,3 @@
+module flashfc
+
+go 1.22

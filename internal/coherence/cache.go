@@ -1,0 +1,118 @@
+package coherence
+
+import "flashfc/internal/timing"
+
+// CacheState is the state of a line in a processor's second-level cache.
+// There is no separate clean-exclusive state: as in FLASH's protocol, a line
+// fetched exclusive is assumed modified, so the cache flush of coherence
+// recovery writes back every exclusive line (§4.5: lines that are not dirty
+// need no message; all others carry the only valid copy).
+type CacheState uint8
+
+const (
+	// CacheShared is a read-only copy; memory at the home is valid.
+	CacheShared CacheState = iota
+	// CacheExclusive is a writable copy; the cache holds the only valid
+	// copy of the line.
+	CacheExclusive
+)
+
+// CacheLine is one resident line.
+type CacheLine struct {
+	State CacheState
+	Token uint64
+}
+
+// Cache is a node's second-level cache, modeled as a fully-associative
+// FIFO-replacement set of lines. CapacityBytes bounds residency; the paper's
+// experiments use 1 MB (Table 5.1).
+type Cache struct {
+	capacity int // lines
+	lines    map[Addr]*CacheLine
+	fifo     []Addr // insertion order for eviction
+}
+
+// NewCache returns a cache holding capacityBytes worth of 128-byte lines.
+func NewCache(capacityBytes uint64) *Cache {
+	return &Cache{
+		capacity: int(capacityBytes / timing.LineSize),
+		lines:    make(map[Addr]*CacheLine),
+	}
+}
+
+// CapacityLines returns the cache size in lines.
+func (c *Cache) CapacityLines() int { return c.capacity }
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int { return len(c.lines) }
+
+// Lookup returns the resident line or nil.
+func (c *Cache) Lookup(a Addr) *CacheLine { return c.lines[a.Line()] }
+
+// Install places a line into the cache. If the cache is full it evicts the
+// oldest resident line first and returns it (and its address) so the caller
+// can issue a writeback for exclusive victims. evicted is nil if no eviction
+// was needed.
+func (c *Cache) Install(a Addr, state CacheState, token uint64) (victim Addr, evicted *CacheLine) {
+	a = a.Line()
+	if l, ok := c.lines[a]; ok {
+		l.State = state
+		l.Token = token
+		return 0, nil
+	}
+	if len(c.lines) >= c.capacity {
+		victim, evicted = c.evictOldest()
+	}
+	c.lines[a] = &CacheLine{State: state, Token: token}
+	c.fifo = append(c.fifo, a)
+	return victim, evicted
+}
+
+func (c *Cache) evictOldest() (Addr, *CacheLine) {
+	for len(c.fifo) > 0 {
+		a := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if l, ok := c.lines[a]; ok {
+			delete(c.lines, a)
+			return a, l
+		}
+	}
+	return 0, nil
+}
+
+// Invalidate removes a line (e.g. on an invalidation or recall) and returns
+// it, or nil if not resident.
+func (c *Cache) Invalidate(a Addr) *CacheLine {
+	a = a.Line()
+	l := c.lines[a]
+	delete(c.lines, a)
+	return l
+}
+
+// Flush empties the cache and returns every line that must be written back
+// home (all exclusive lines) in deterministic FIFO order. Shared lines are
+// dropped silently: the home copy is valid (§4.5).
+func (c *Cache) Flush() (addrs []Addr, lines []*CacheLine) {
+	for _, a := range c.fifo {
+		l, ok := c.lines[a]
+		if !ok {
+			continue
+		}
+		if l.State == CacheExclusive {
+			addrs = append(addrs, a)
+			lines = append(lines, l)
+		}
+		delete(c.lines, a)
+	}
+	c.fifo = c.fifo[:0]
+	return addrs, lines
+}
+
+// ForEach visits resident lines in insertion order.
+func (c *Cache) ForEach(fn func(a Addr, l *CacheLine)) {
+	for _, a := range c.fifo {
+		if l, ok := c.lines[a]; ok {
+			fn(a, l)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package coherence
+
+// DirState is the home-side coherence state of a line.
+type DirState uint8
+
+const (
+	// DirInvalid: no cached copies; memory is valid.
+	DirInvalid DirState = iota
+	// DirShared: read-only copies at Sharers; memory is valid.
+	DirShared
+	// DirExclusive: Owner holds the only valid copy; memory may be stale.
+	DirExclusive
+	// DirPendingRecall: the line is locked while the home waits for the
+	// owner's writeback; requests are NAKed (§3.2).
+	DirPendingRecall
+	// DirPendingInval: the line is locked while the home collects
+	// invalidate acknowledgments; requests are NAKed (§3.2).
+	DirPendingInval
+	// DirIncoherent: the only valid copy was lost in a failure; accesses
+	// are terminated with a bus error until the OS scrubs the line (§3.2).
+	DirIncoherent
+)
+
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "invalid"
+	case DirShared:
+		return "shared"
+	case DirExclusive:
+		return "exclusive"
+	case DirPendingRecall:
+		return "pending-recall"
+	case DirPendingInval:
+		return "pending-inval"
+	case DirIncoherent:
+		return "incoherent"
+	default:
+		return "?"
+	}
+}
+
+// Locked reports whether the line is in a transient state.
+func (s DirState) Locked() bool { return s == DirPendingRecall || s == DirPendingInval }
+
+// DirEntry is the directory state of one line at its home.
+type DirEntry struct {
+	State   DirState
+	Owner   int     // valid in DirExclusive and DirPendingRecall
+	Sharers NodeSet // valid in DirShared and DirPendingInval
+
+	// Pending-transaction bookkeeping, valid while State.Locked():
+	PendingReq  int    // the requester the lock is held for
+	PendingExcl bool   // the pending request is a GETX
+	AcksLeft    int    // outstanding invalidate acks (DirPendingInval)
+	PendingSeq  uint64 // requester's sequence number, echoed in the reply
+}
+
+// Directory is the home-side protocol state for one node's memory lines.
+// Entries are sparse: absent means DirInvalid.
+type Directory struct {
+	nodes   int
+	entries map[Addr]*DirEntry
+}
+
+// NewDirectory returns an empty directory for a machine of n nodes.
+func NewDirectory(n int) *Directory {
+	return &Directory{nodes: n, entries: make(map[Addr]*DirEntry)}
+}
+
+// Lookup returns the entry for line a, or nil if the line is DirInvalid.
+func (d *Directory) Lookup(a Addr) *DirEntry { return d.entries[a.Line()] }
+
+// Get returns the entry for line a, creating a DirInvalid entry if needed.
+func (d *Directory) Get(a Addr) *DirEntry {
+	a = a.Line()
+	e, ok := d.entries[a]
+	if !ok {
+		e = &DirEntry{Sharers: NewNodeSet(d.nodes)}
+		d.entries[a] = e
+	}
+	return e
+}
+
+// Release removes a line's entry if it has returned to DirInvalid, keeping
+// the directory sparse.
+func (d *Directory) Release(a Addr) {
+	a = a.Line()
+	if e, ok := d.entries[a]; ok && e.State == DirInvalid {
+		delete(d.entries, a)
+	}
+}
+
+// Len returns the number of non-invalid entries, for tests.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// ForEach visits all entries (order unspecified); the visitor may mutate
+// entry state but must not add or delete entries.
+func (d *Directory) ForEach(fn func(a Addr, e *DirEntry)) {
+	for a, e := range d.entries {
+		fn(a, e)
+	}
+}
+
+// Scan implements the coherence-recovery directory sweep (§4.5): after the
+// global cache flush, any line that still appears cached exclusive (or that
+// is still locked waiting for an owner's writeback) has lost its only valid
+// copy and is marked incoherent; every other entry is reset to "clean and
+// not cached", because after the flush all processor caches are empty. It
+// returns the addresses newly marked incoherent.
+func (d *Directory) Scan() []Addr {
+	var lost []Addr
+	for a, e := range d.entries {
+		switch e.State {
+		case DirExclusive, DirPendingRecall:
+			e.State = DirIncoherent
+			lost = append(lost, a)
+		case DirShared, DirPendingInval:
+			e.State = DirInvalid
+			e.Sharers.Clear()
+		case DirIncoherent:
+			// Stays incoherent until the OS scrubs it.
+		}
+		e.AcksLeft = 0
+	}
+	// Drop entries that returned to invalid.
+	for a, e := range d.entries {
+		if e.State == DirInvalid {
+			delete(d.entries, a)
+		}
+	}
+	return lost
+}
+
+// ScanLiveness is the §6.3 directory sweep variant for machines with a
+// reliable (HAL-style) interconnect: no writeback was lost and caches were
+// NOT flushed, so only lines entrusted to *dead* nodes are gone. Exclusive
+// lines with live owners stay valid in place; dead sharers are pruned;
+// locked lines are resolved according to whether their owner survived. A
+// pending-invalidation line may still have live sharers we can no longer
+// enumerate (the sharer list was consumed when the invalidations went out),
+// so it conservatively becomes shared by every live node. It returns the
+// addresses newly marked incoherent.
+func (d *Directory) ScanLiveness(up func(node int) bool) []Addr {
+	var lost []Addr
+	for a, e := range d.entries {
+		switch e.State {
+		case DirExclusive:
+			if !up(e.Owner) {
+				e.State = DirIncoherent
+				lost = append(lost, a)
+			}
+		case DirPendingRecall:
+			if up(e.Owner) {
+				// The owner still holds the line; release the lock.
+				// The aborted requester reissues after recovery.
+				e.State = DirExclusive
+			} else {
+				e.State = DirIncoherent
+				lost = append(lost, a)
+			}
+		case DirShared:
+			live := e.Sharers.Clone()
+			e.Sharers.ForEach(func(id int) {
+				if !up(id) {
+					live.Remove(id)
+				}
+			})
+			copy(e.Sharers, live)
+			if e.Sharers.Empty() {
+				e.State = DirInvalid
+			}
+		case DirPendingInval:
+			// Unknown live sharers may remain: over-approximate.
+			e.State = DirShared
+			e.Sharers.Clear()
+			for i := 0; i < d.nodes; i++ {
+				if up(i) {
+					e.Sharers.Add(i)
+				}
+			}
+		}
+		e.AcksLeft = 0
+	}
+	for a, e := range d.entries {
+		if e.State == DirInvalid {
+			delete(d.entries, a)
+		}
+	}
+	return lost
+}
+
+// Incoherent reports whether line a is marked incoherent.
+func (d *Directory) Incoherent(a Addr) bool {
+	e := d.Lookup(a)
+	return e != nil && e.State == DirIncoherent
+}
+
+// Scrub resets an incoherent line to invalid, modeling the MAGIC service
+// Hive uses before reusing a page (§4.6). It reports whether the line was
+// incoherent.
+func (d *Directory) Scrub(a Addr) bool {
+	a = a.Line()
+	e, ok := d.entries[a]
+	if !ok || e.State != DirIncoherent {
+		return false
+	}
+	delete(d.entries, a)
+	return true
+}

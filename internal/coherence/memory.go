@@ -1,0 +1,39 @@
+package coherence
+
+// Memory is one node's portion of the distributed main memory. Lines are
+// stored sparsely: a line that was never written holds its deterministic
+// initial token, so an untouched 16 MB memory costs nothing.
+type Memory struct {
+	base   Addr
+	bytes  uint64
+	tokens map[Addr]uint64
+}
+
+// InitialToken is the deterministic content of a never-written line.
+func InitialToken(line Addr) uint64 { return uint64(line) ^ 0xf1a5_4c0d_e000_0000 }
+
+// NewMemory returns the memory for the node whose address range starts at
+// base and spans bytes.
+func NewMemory(base Addr, bytes uint64) *Memory {
+	return &Memory{base: base, bytes: bytes, tokens: make(map[Addr]uint64)}
+}
+
+// Owns reports whether line a is homed in this memory.
+func (m *Memory) Owns(a Addr) bool {
+	return a >= m.base && uint64(a-m.base) < m.bytes
+}
+
+// Read returns the token of line a.
+func (m *Memory) Read(a Addr) uint64 {
+	a = a.Line()
+	if t, ok := m.tokens[a]; ok {
+		return t
+	}
+	return InitialToken(a)
+}
+
+// Write stores token as the content of line a.
+func (m *Memory) Write(a Addr, token uint64) { m.tokens[a.Line()] = token }
+
+// TouchedLines returns the number of lines ever written, for tests.
+func (m *Memory) TouchedLines() int { return len(m.tokens) }

@@ -1,0 +1,114 @@
+package coherence
+
+import "fmt"
+
+// MsgType enumerates the coherence protocol messages exchanged between node
+// controllers, plus the uncached-operation messages used for cross-node I/O
+// and inter-cell RPC doorbells.
+type MsgType uint8
+
+const (
+	// MsgGet requests a shared (read-only) copy from the home.
+	MsgGet MsgType = iota
+	// MsgGetX requests an exclusive (writable) copy from the home.
+	MsgGetX
+	// MsgPut writes the only valid copy of a line back to the home; sent
+	// on eviction, in response to a recall, and during the recovery cache
+	// flush. Losing a MsgPut loses the line (§3.2).
+	MsgPut
+	// MsgRecall asks the current exclusive owner to write the line back.
+	MsgRecall
+	// MsgRecallNak tells the home the recalled line was not resident
+	// (the owner's eviction writeback is already in flight, in order,
+	// ahead of this message).
+	MsgRecallNak
+	// MsgInval asks a sharer to drop its copy.
+	MsgInval
+	// MsgInvAck acknowledges an invalidation to the home.
+	MsgInvAck
+	// MsgDataShared grants a shared copy to the requester.
+	MsgDataShared
+	// MsgDataExcl grants an exclusive copy to the requester.
+	MsgDataExcl
+	// MsgNak tells the requester the line is locked; retry (§3.2).
+	MsgNak
+	// MsgBusErr terminates the requester's access with a bus error:
+	// the line is incoherent, firewalled, or otherwise inaccessible.
+	MsgBusErr
+	// MsgUncachedRead / MsgUncachedWrite are uncached operations against
+	// a remote node (I/O device registers, RPC doorbells). They have
+	// exactly-once semantics and are never retried by hardware (§3.3).
+	MsgUncachedRead
+	MsgUncachedWrite
+	// MsgUncachedReply completes an uncached operation.
+	MsgUncachedReply
+	// MsgUncachedErr rejects a cross-failure-unit uncached operation.
+	MsgUncachedErr
+)
+
+var msgNames = [...]string{
+	"GET", "GETX", "PUT", "RECALL", "RECALLNAK", "INVAL", "INVACK",
+	"DATA_SH", "DATA_EX", "NAK", "BUSERR",
+	"UREAD", "UWRITE", "UREPLY", "UERR",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgNames) {
+		return msgNames[t]
+	}
+	return fmt.Sprintf("msg%d", uint8(t))
+}
+
+// IsRequest reports whether the message travels on the request lane.
+func (t MsgType) IsRequest() bool {
+	switch t {
+	case MsgGet, MsgGetX, MsgRecall, MsgInval, MsgUncachedRead, MsgUncachedWrite:
+		return true
+	}
+	return false
+}
+
+// CarriesData reports whether the message carries a line's data, i.e.
+// whether losing it can lose the only valid copy of a line.
+func (t MsgType) CarriesData() bool {
+	switch t {
+	case MsgPut, MsgDataShared, MsgDataExcl:
+		return true
+	}
+	return false
+}
+
+// Message is the payload of a coherence packet.
+type Message struct {
+	Type MsgType
+	Addr Addr
+	// Req is the node the transaction is on behalf of (the original
+	// requester for GET/GETX and their replies).
+	Req int
+	// Seq matches replies to the requester's outstanding-operation entry.
+	Seq uint64
+	// Data is the line token for data-carrying messages, or the payload
+	// of an uncached operation.
+	Data uint64
+	// UPayload carries the opaque payload of uncached operations (used
+	// by the Hive RPC layer).
+	UPayload any
+	// IO marks an uncached operation as targeting an I/O device
+	// register; those are bus-errored when they arrive from outside the
+	// local failure unit (§3.3). Non-IO uncached operations (RPC
+	// doorbells) cross units freely.
+	IO bool
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("%v %v req=%d seq=%d", m.Type, m.Addr, m.Req, m.Seq)
+}
+
+// Bytes returns the wire size used for serialization cost: header-only for
+// control messages, header+line for data-carrying ones.
+func (m *Message) Bytes() int {
+	if m.Type.CarriesData() {
+		return 128
+	}
+	return 16
+}

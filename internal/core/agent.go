@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+
+	"flashfc/internal/interconnect"
+	"flashfc/internal/magic"
+	"flashfc/internal/sim"
+	"flashfc/internal/timing"
+	"flashfc/internal/topology"
+)
+
+// Phase identifies where an agent is in the recovery algorithm (Fig 4.2).
+type Phase int
+
+const (
+	PhaseIdle Phase = iota
+	PhaseInit
+	PhaseDissemination
+	PhaseInterconnect
+	PhaseCoherence
+	PhaseDone
+	PhaseShutdown
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseInit:
+		return "P1-initiation"
+	case PhaseDissemination:
+		return "P2-dissemination"
+	case PhaseInterconnect:
+		return "P3-interconnect"
+	case PhaseCoherence:
+		return "P4-coherence"
+	case PhaseDone:
+		return "done"
+	case PhaseShutdown:
+		return "shutdown"
+	default:
+		return "?"
+	}
+}
+
+// Report summarizes one node's run of the recovery algorithm; the machine
+// layer aggregates these into the per-phase times of Figs 5.5–5.7.
+type Report struct {
+	Node     int
+	Epoch    int
+	Restarts int
+	Reason   magic.TriggerReason
+	// Isolated means the node found its own router dead (or itself cut
+	// off) and shut down without participating.
+	Isolated bool
+	// ShutDown means the node was part of a failure unit with a failed
+	// component and shut itself down after P4 (§4.3).
+	ShutDown bool
+
+	Start, P1End, P2End, P3End, P4End sim.Time
+	// FlushEnd is when this node finished its cache-flush loop, splitting
+	// P4 into its WB and directory-scan components (Fig 5.6).
+	FlushEnd sim.Time
+
+	Rounds     int // dissemination rounds executed
+	CwnSize    int
+	Writebacks int // flush writebacks sent
+	Incoherent int // lines this node's directory marked incoherent
+}
+
+// Config tunes the recovery algorithm.
+type Config struct {
+	// UncachedInstr is the per-instruction cost of recovery code (§4.1:
+	// the processor runs from uncached space at under 2.5 MIPS).
+	UncachedInstr sim.Time
+	// SpeculativePing sends pings to immediate neighbors at recovery
+	// entry, before cwn exploration — the §4.2 optimization that speeds
+	// up recovery triggering about fivefold.
+	SpeculativePing bool
+	// BFTHints defers BFT computations on hint-receiving nodes so they
+	// run in parallel at the end of dissemination instead of chaining
+	// between neighbors (§4.3).
+	BFTHints bool
+	// DrainTau is the τ bound between consecutive stalled-packet
+	// deliveries used by the drain agreement (§4.4).
+	DrainTau sim.Time
+	// ProbeTimeout bounds a router probe round trip.
+	ProbeTimeout sim.Time
+	// PingTimeout bounds how long to wait for a pong: it must cover the
+	// target's recovery-entry time (~70 µs of uncached execution).
+	PingTimeout sim.Time
+	// WatchdogTimeout restarts recovery (with a higher epoch) when no
+	// progress happens for this long — the §4.1 reaction to additional
+	// failures during recovery.
+	WatchdogTimeout sim.Time
+	// FailureUnits maps node → failure-unit id; a functioning node whose
+	// unit contains a failed component shuts down after P4 (§3.3, §4.3).
+	// nil means every node is its own unit.
+	FailureUnits []int
+	// L2ChargeLines is the number of cache lines the flush loop iterates
+	// (the full configured L2 size; Fig 5.6 left).
+	L2ChargeLines int
+	// MemChargeLines is the number of memory lines the directory sweep
+	// iterates (the full per-node memory; Fig 5.6 right).
+	MemChargeLines int
+	// QuorumFraction is the §4.2 split-brain heuristic: a node that ends
+	// dissemination in a component holding less than this fraction of the
+	// machine shuts itself down instead of recovering a minority island.
+	// Zero disables the check.
+	QuorumFraction float64
+	// ReliableInterconnect models the HAL machine of §6.3: the hardware
+	// provides end-to-end reliable delivery of coherence traffic, so the
+	// coherence-recovery phase skips the global cache flush entirely —
+	// caches stay warm — and the directory sweep only accounts for lines
+	// entrusted to dead nodes. Lost packets are retransmitted by the
+	// fabric once recovery completes.
+	ReliableInterconnect bool
+	// HardwiredController models the §6.2 hardwired-node-controller
+	// variant: the main processor performs the node controller's
+	// recovery work itself through uncached accesses, so the P4 flush
+	// and directory sweep run at processor speed instead of inside
+	// MAGIC. Normal-mode behaviour is unchanged.
+	HardwiredController bool
+
+	// OnEnter fires when the node drops into recovery (pause workload).
+	OnEnter func(node int)
+	// OnComplete fires when this node's recovery finishes.
+	OnComplete func(*Report)
+	// OnPhase, if set, observes phase transitions (tests, tracing).
+	OnPhase func(node int, p Phase)
+}
+
+// DefaultConfig returns paper-calibrated defaults for a machine with the
+// given per-node L2 and memory sizes in bytes.
+func DefaultConfig(l2Bytes, memBytes uint64) Config {
+	return Config{
+		UncachedInstr:   timing.UncachedInstrSimOS,
+		SpeculativePing: true,
+		BFTHints:        true,
+		DrainTau:        timing.DrainTau,
+		ProbeTimeout:    timing.ProbeTimeout,
+		PingTimeout:     400 * sim.Microsecond,
+		WatchdogTimeout: 150 * sim.Millisecond,
+		QuorumFraction:  0.5,
+		L2ChargeLines:   int(l2Bytes / timing.LineSize),
+		MemChargeLines:  int(memBytes / timing.LineSize),
+	}
+}
+
+// Agent executes the recovery algorithm on one node.
+type Agent struct {
+	ID   int
+	E    *sim.Engine
+	Net  *interconnect.Network
+	Ctrl *magic.Controller
+	Topo *topology.Topology
+	cfg  Config
+
+	epoch     int
+	phase     Phase
+	busyUntil sim.Time
+	report    *Report
+
+	// P1 state.
+	st          *sysState
+	pathTo      map[int][]int // router -> source route from here
+	explored    map[int]bool  // links already probed
+	probing     int           // outstanding probe/ping operations
+	cwn         []int
+	cwnPath     map[int][]int
+	pinged      map[int]bool
+	nodePong    map[int]bool // outcome of pings (true = pong received)
+	pongTimer   map[int]*sim.Timer
+	pongWaiters map[int]int // probes waiting on a node's ping outcome
+	pongQueue   []pongDest  // pings answered once recovery code runs
+
+	// P2 state.
+	round      int
+	target     int
+	stable     int
+	merging    bool                    // a round merge is charged but not yet applied
+	inbox      map[int]map[int]*recMsg // round -> from -> message
+	hint       int
+	finalState *sysState // lame-duck echo source after P2
+
+	// Post-P2 derived state.
+	view         *topology.View
+	bft          *topology.BFT
+	root         int
+	participants []int
+	partSet      map[int]bool
+	doomed       bool
+	routeCache   map[int][]int
+
+	// Barriers.
+	bars       map[string]*barrierState
+	pendingBar map[string][]*recMsg
+	voteAt     sim.Time
+
+	// P4 all-to-all flush barrier.
+	flushFrom map[int]bool
+	scanned   bool
+
+	watchdog *sim.Timer
+	// codeRunning is set once the recovery code is confirmed executing
+	// on the processor; pings are answerable from then on (§4.2).
+	codeRunning bool
+	// dead is set when the node's hardware fails: the agent (which runs
+	// on the node's processor) stops executing entirely.
+	dead bool
+}
+
+type pongDest struct {
+	to    int
+	route []int
+}
+
+// NewAgent wires a recovery agent to its node and registers it as the
+// controller's trigger and recovery-packet handler.
+func NewAgent(e *sim.Engine, net *interconnect.Network, ctrl *magic.Controller,
+	topo *topology.Topology, cfg Config) *Agent {
+	a := &Agent{
+		ID: ctrl.ID, E: e, Net: net, Ctrl: ctrl, Topo: topo, cfg: cfg,
+	}
+	ctrl.SetTriggerHandler(a.Trigger)
+	ctrl.SetRecoveryHandler(a.handlePacket)
+	return a
+}
+
+// Phase returns the agent's current phase.
+func (a *Agent) Phase() Phase { return a.phase }
+
+// Epoch returns the agent's recovery epoch.
+func (a *Agent) Epoch() int { return a.epoch }
+
+// Report returns the agent's (possibly in-progress) report.
+func (a *Agent) Report() *Report { return a.report }
+
+func (a *Agent) setPhase(p Phase) {
+	a.phase = p
+	if a.cfg.OnPhase != nil {
+		a.cfg.OnPhase(a.ID, p)
+	}
+}
+
+// Kill stops the agent: the node's hardware has failed, so the recovery
+// code running on its processor dies with it.
+func (a *Agent) Kill() {
+	a.dead = true
+	if a.watchdog != nil {
+		a.watchdog.Cancel()
+	}
+	a.setPhase(PhaseShutdown)
+}
+
+// Trigger starts the recovery algorithm in response to one of the Table 4.1
+// conditions. Triggers while recovery is already running are ignored: the
+// watchdog and epoch mechanism handle faults during recovery.
+func (a *Agent) Trigger(reason magic.TriggerReason) {
+	if a.dead || (a.phase != PhaseIdle && a.phase != PhaseDone) {
+		return
+	}
+	if a.epoch == 0 {
+		a.epoch = 1
+	} else if a.phase == PhaseDone {
+		// A fresh fault after a completed recovery starts a new epoch,
+		// so that stragglers of the previous run cannot alias with the
+		// new one (messages carry the epoch; old ones are dropped).
+		a.epoch++
+	}
+	a.enter(reason)
+}
+
+// enter begins (or restarts) recovery at the current epoch.
+func (a *Agent) enter(reason magic.TriggerReason) {
+	if a.report == nil || a.phase == PhaseDone {
+		a.report = &Report{Node: a.ID, Reason: reason, Start: a.E.Now()}
+	}
+	a.report.Epoch = a.epoch
+	a.resetState()
+	a.setPhase(PhaseInit)
+	a.Ctrl.EnterRecovery()
+	if a.cfg.OnEnter != nil {
+		a.cfg.OnEnter(a.ID)
+	}
+	a.armWatchdog()
+	// §4.2 optimization: speculatively ping immediate neighbors before
+	// any exploration, so the recovery wave spreads while this node is
+	// still dropping its own processor into recovery.
+	if a.cfg.SpeculativePing {
+		for _, adj := range a.Topo.Adjacency(a.ID) {
+			a.sendPing(adj.To, []int{a.ID, adj.To})
+		}
+	}
+	// Dropping the processor into recovery: forced Cache Error, state
+	// save, switch to uncached execution (§4.2).
+	a.busyUntil = a.E.Now()
+	a.execInstr(timing.InstrRecoveryEntry, a.recoveryCodeRunning)
+}
+
+// resetState clears per-epoch algorithm state.
+func (a *Agent) resetState() {
+	n := a.Topo.Routers()
+	a.st = newSysState(n, len(a.Topo.Links()))
+	a.st.Nodes[a.ID] = triUp
+	a.pathTo = map[int][]int{}
+	a.explored = map[int]bool{}
+	a.probing = 0
+	a.cwn = nil
+	a.cwnPath = map[int][]int{}
+	a.pinged = map[int]bool{}
+	a.nodePong = map[int]bool{}
+	for _, t := range a.pongTimer {
+		t.Cancel()
+	}
+	a.pongTimer = map[int]*sim.Timer{}
+	a.pongWaiters = map[int]int{}
+	// pongQueue is deliberately preserved: pings that arrived just before
+	// a restart still deserve an answer from the fresh run.
+	a.codeRunning = false
+	a.round = 0
+	a.merging = false
+	a.target = 0
+	a.stable = 0
+	a.inbox = map[int]map[int]*recMsg{}
+	a.hint = 0
+	a.finalState = nil
+	a.view = nil
+	a.bft = nil
+	a.participants = nil
+	a.partSet = map[int]bool{}
+	a.doomed = false
+	a.routeCache = map[int][]int{}
+	a.bars = map[string]*barrierState{}
+	a.pendingBar = map[string][]*recMsg{}
+	a.flushFrom = map[int]bool{}
+	a.scanned = false
+}
+
+// restartTo abandons the current run and re-executes the algorithm at a
+// higher epoch — the §4.1 reaction to additional faults during recovery.
+func (a *Agent) restartTo(epoch int) {
+	if epoch <= a.epoch && a.phase != PhaseDone {
+		return
+	}
+	a.epoch = epoch
+	if a.report != nil {
+		a.report.Restarts++
+	}
+	reason := magic.ReasonPing
+	if a.report != nil {
+		reason = a.report.Reason
+	}
+	done := a.phase == PhaseDone
+	a.setPhase(PhaseIdle)
+	if done {
+		a.report = nil // a fresh fault after completion: new report
+	}
+	a.enter(reason)
+}
+
+// execInstr charges n instructions of uncached recovery-code execution and
+// then runs fn. Charges serialize on the node's single processor.
+func (a *Agent) execInstr(n int, fn func()) {
+	a.execTime(sim.Time(n)*a.cfg.UncachedInstr, fn)
+}
+
+// execTime charges a raw duration of node-local work.
+func (a *Agent) execTime(d sim.Time, fn func()) {
+	start := a.E.Now()
+	if a.busyUntil > start {
+		start = a.busyUntil
+	}
+	a.busyUntil = start + d
+	epoch := a.epoch
+	a.E.At(a.busyUntil, func() {
+		if a.dead || a.epoch != epoch {
+			return // node died or superseded by a restart
+		}
+		fn()
+	})
+}
+
+// armWatchdog (re)arms the no-progress watchdog.
+func (a *Agent) armWatchdog() { a.armWatchdogFor(a.cfg.WatchdogTimeout) }
+
+// armWatchdogFor (re)arms the watchdog with an explicit deadline — used
+// before long known-duration local work (the P4 flush and directory sweep
+// can legitimately exceed the normal progress timeout on big memories).
+func (a *Agent) armWatchdogFor(d sim.Time) {
+	if a.watchdog != nil {
+		a.watchdog.Cancel()
+	}
+	if a.cfg.WatchdogTimeout <= 0 {
+		return
+	}
+	if d < a.cfg.WatchdogTimeout {
+		d = a.cfg.WatchdogTimeout
+	}
+	epoch := a.epoch
+	a.watchdog = a.E.After(d, func() {
+		if a.epoch != epoch || a.phase == PhaseDone || a.phase == PhaseShutdown || a.phase == PhaseIdle {
+			return
+		}
+		// No progress: assume an additional failure and restart the
+		// algorithm at a higher epoch. The restart wave (pings carry
+		// the new epoch) brings everyone else along.
+		a.restartTo(a.epoch + 1)
+	})
+}
+
+// sendRec ships m to node `to` over the given source route and lane.
+func (a *Agent) sendRec(to int, route []int, lane interconnect.Lane, m *recMsg) {
+	m.From = a.ID
+	m.Epoch = a.epoch
+	a.Net.Send(&interconnect.Packet{
+		Src: a.ID, Dst: to, Lane: lane,
+		SourceRoute: route, Bytes: m.bytes(), Payload: m,
+	})
+}
+
+func (a *Agent) sendPing(to int, route []int) {
+	a.sendRec(to, route, interconnect.LaneRecoveryA, &recMsg{Kind: kPing})
+}
+
+// handlePacket receives recovery-lane packets (and normal-lane recovery
+// control such as kFlushDone) forwarded by the controller.
+func (a *Agent) handlePacket(p *interconnect.Packet) {
+	if a.dead {
+		return
+	}
+	m, ok := p.Payload.(*recMsg)
+	if !ok {
+		return
+	}
+	switch {
+	case m.Epoch > a.epoch:
+		// A newer epoch exists: adopt it and restart. Pings are then
+		// answered by the fresh run's pong queue.
+		a.restartTo(m.Epoch)
+		if m.Kind == kPing {
+			a.queuePong(m.From, p.SourceRoute)
+		}
+		return
+	case m.Epoch < a.epoch:
+		if m.Kind == kPing {
+			// Stale pinger: our pong carries the newer epoch and
+			// restarts it.
+			a.sendRec(m.From, reverseRoute(p.SourceRoute), interconnect.LaneRecoveryB, &recMsg{Kind: kPong})
+		}
+		return
+	}
+	a.armWatchdog()
+	switch m.Kind {
+	case kPing:
+		a.onPing(m, p)
+	case kPong:
+		a.onPong(m)
+	case kState:
+		a.onState(m)
+	case kBarrierUp, kBarrierDown:
+		a.onBarrierMsg(m)
+	case kFlushDone:
+		a.onFlushDone(m)
+	}
+}
+
+// onPing drops an idle node into recovery and answers once the recovery
+// code is running (§4.2: a ping reply is evidence the node works).
+func (a *Agent) onPing(m *recMsg, p *interconnect.Packet) {
+	route := reverseRoute(p.SourceRoute)
+	switch a.phase {
+	case PhaseIdle:
+		if a.epoch == 0 {
+			a.epoch = m.Epoch
+		}
+		a.queuePong(m.From, p.SourceRoute)
+		a.enter(magic.ReasonPing)
+	case PhaseInit:
+		if a.codeRunning {
+			a.sendRec(m.From, route, interconnect.LaneRecoveryB, &recMsg{Kind: kPong})
+			return
+		}
+		// Recovery code not confirmed running yet: answer when it is.
+		a.queuePong(m.From, p.SourceRoute)
+	case PhaseShutdown:
+		// A node that decided to shut down never answers.
+	default:
+		a.sendRec(m.From, route, interconnect.LaneRecoveryB, &recMsg{Kind: kPong})
+	}
+}
+
+func (a *Agent) queuePong(to int, pingRoute []int) {
+	a.pongQueue = append(a.pongQueue, pongDest{to: to, route: reverseRoute(pingRoute)})
+}
+
+func reverseRoute(route []int) []int {
+	if route == nil {
+		return nil
+	}
+	out := make([]int, len(route))
+	for i, r := range route {
+		out[len(route)-1-i] = r
+	}
+	return out
+}
+
+func (a *Agent) String() string {
+	return fmt.Sprintf("agent(%d %v ep=%d)", a.ID, a.phase, a.epoch)
+}
+
+// DebugString dumps the agent's progress state for diagnostics.
+func (a *Agent) DebugString() string {
+	missing := ""
+	if a.phase == PhaseDissemination {
+		rm := a.inbox[a.round]
+		for _, q := range a.cwn {
+			if rm == nil || rm[q] == nil {
+				missing += fmt.Sprintf(" %d", q)
+			}
+		}
+	}
+	bars := ""
+	for name, b := range a.bars {
+		if !b.released {
+			bars += fmt.Sprintf(" %s(ready=%v ups=%d/%d)", name, b.ready, len(b.upFrom), len(b.children))
+		}
+	}
+	return fmt.Sprintf("node %d %v ep=%d probing=%d cwn=%v round=%d/%d stable=%d merging=%v missing=[%s] flush=%d/%d bars=%s",
+		a.ID, a.phase, a.epoch, a.probing, a.cwn, a.round, a.target, a.stable, a.merging,
+		missing, len(a.flushFrom), len(a.participants), bars)
+}

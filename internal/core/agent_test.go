@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/interconnect"
+	"flashfc/internal/magic"
+	"flashfc/internal/sim"
+	"flashfc/internal/topology"
+)
+
+// rig wires engine + fabric + controllers + agents without the machine
+// layer, so the algorithm can be observed directly.
+type rig struct {
+	e      *sim.Engine
+	topo   *topology.Topology
+	net    *interconnect.Network
+	ctrls  []*magic.Controller
+	agents []*Agent
+	done   map[int]*Report
+}
+
+func newRig(t *testing.T, w, h int, mod func(*Config)) *rig {
+	t.Helper()
+	e := sim.NewEngine(1)
+	topo := topology.NewMesh(w, h)
+	net := interconnect.New(e, topo, interconnect.DefaultConfig())
+	n := topo.Routers()
+	space := coherence.AddrSpace{Nodes: n, MemBytes: 64 << 10}
+	r := &rig{e: e, topo: topo, net: net, done: map[int]*Report{}}
+	for i := 0; i < n; i++ {
+		ctrl := magic.New(e, net, i, space,
+			coherence.NewDirectory(n),
+			coherence.NewMemory(space.Base(i), space.MemBytes),
+			coherence.NewCache(16<<10), magic.DefaultConfig())
+		cfg := DefaultConfig(16<<10, 64<<10)
+		cfg.OnComplete = func(rep *Report) { r.done[rep.Node] = rep }
+		if mod != nil {
+			mod(&cfg)
+		}
+		r.ctrls = append(r.ctrls, ctrl)
+		r.agents = append(r.agents, NewAgent(e, net, ctrl, topo, cfg))
+	}
+	return r
+}
+
+// run drives the engine until all the given nodes completed or the deadline.
+func (r *rig) run(t *testing.T, deadline sim.Time, expect []int) {
+	t.Helper()
+	for r.e.Now() < deadline {
+		r.e.RunUntil(r.e.Now() + sim.Millisecond)
+		all := true
+		for _, n := range expect {
+			if r.done[n] == nil {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+	}
+	for _, a := range r.agents {
+		t.Log(a.DebugString())
+	}
+	t.Fatalf("agents did not complete: have %d reports", len(r.done))
+}
+
+func TestFalseAlarmFullCycle(t *testing.T) {
+	r := newRig(t, 4, 2, nil)
+	r.agents[3].Trigger(magic.ReasonFalseAlarm)
+	r.run(t, 2*sim.Second, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	for n, rep := range r.done {
+		if rep.ShutDown || rep.Isolated {
+			t.Fatalf("node %d should survive a false alarm", n)
+		}
+		if rep.Incoherent != 0 {
+			t.Fatalf("node %d marked lines incoherent on a false alarm", n)
+		}
+		if rep.P1End == 0 || rep.P2End < rep.P1End || rep.P4End < rep.P2End {
+			t.Fatalf("node %d phase times inconsistent: %+v", n, rep)
+		}
+	}
+	// Everyone should agree the whole machine is up.
+	for _, c := range r.ctrls {
+		for i := 0; i < 8; i++ {
+			if !c.NodeUp(i) {
+				t.Fatalf("node %d marked down after false alarm", i)
+			}
+		}
+	}
+}
+
+func TestCwnStopsAtFunctioningNodes(t *testing.T) {
+	// 4x2 mesh; node 5 (1,1) dead with live router: its neighbors reach
+	// *through* its router. cwn(1) must be {0, 2, 4, 6}: direct neighbors
+	// 0 and 2, plus 4 and 6 through dead node 5's router.
+	r := newRig(t, 4, 2, nil)
+	r.ctrls[5].SetMode(magic.ModeDead)
+	r.agents[5].Kill()
+	r.agents[1].Trigger(magic.ReasonTimeout)
+	r.run(t, 2*sim.Second, []int{0, 1, 2, 3, 4, 6, 7})
+	rep := r.done[1]
+	if rep.CwnSize != 4 {
+		t.Fatalf("cwn size = %d, want 4 (got agent: %s)", rep.CwnSize, r.agents[1].DebugString())
+	}
+	want := map[int]bool{0: true, 2: true, 4: true, 6: true}
+	for _, q := range r.agents[1].cwn {
+		if !want[q] {
+			t.Fatalf("unexpected cwn member %d (cwn=%v)", q, r.agents[1].cwn)
+		}
+	}
+	// Corner node 0 is not adjacent to the dead node: cwn(0) = {1, 4}.
+	if got := r.agents[0].cwn; len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("cwn(0) = %v, want [1 4]", got)
+	}
+}
+
+func TestNodeMapConsensusAfterDissemination(t *testing.T) {
+	r := newRig(t, 4, 2, nil)
+	r.ctrls[6].SetMode(magic.ModeDead)
+	r.agents[6].Kill()
+	r.agents[2].Trigger(magic.ReasonTimeout)
+	r.run(t, 2*sim.Second, []int{0, 1, 2, 3, 4, 5, 7})
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7} {
+		for i := 0; i < 8; i++ {
+			want := i != 6
+			if r.ctrls[n].NodeUp(i) != want {
+				t.Fatalf("node %d's map disagrees on %d", n, i)
+			}
+		}
+		if r.done[n].Rounds == 0 {
+			t.Fatalf("node %d ran no dissemination rounds", n)
+		}
+	}
+}
+
+func TestFailureUnitDoom(t *testing.T) {
+	units := []int{0, 0, 1, 1, 0, 0, 1, 1} // columns 0-1 unit 0, 2-3 unit 1
+	r := newRig(t, 4, 2, func(c *Config) { c.FailureUnits = units })
+	r.ctrls[2].SetMode(magic.ModeDead) // unit 1 loses a node
+	r.agents[2].Kill()
+	r.agents[1].Trigger(magic.ReasonTimeout)
+	r.run(t, 2*sim.Second, []int{0, 1, 3, 4, 5, 6, 7})
+	for n, rep := range r.done {
+		inUnit1 := units[n] == 1
+		if inUnit1 != rep.ShutDown {
+			t.Fatalf("node %d: ShutDown=%v, want %v", n, rep.ShutDown, inUnit1)
+		}
+	}
+}
+
+func TestIsolatedNodeShutsDown(t *testing.T) {
+	r := newRig(t, 4, 2, nil)
+	// Kill node 3's router: it cannot reach anyone.
+	r.net.FailRouter(3)
+	r.agents[3].Trigger(magic.ReasonTimeout)
+	r.run(t, 2*sim.Second, []int{3})
+	rep := r.done[3]
+	if !rep.Isolated || !rep.ShutDown {
+		t.Fatalf("report = %+v, want isolated shutdown", rep)
+	}
+	if r.ctrls[3].Mode() != magic.ModeDead {
+		t.Fatal("isolated node's controller should be dead")
+	}
+}
+
+func TestQuorumRefusesMinorityIsland(t *testing.T) {
+	r := newRig(t, 4, 2, func(c *Config) { c.QuorumFraction = 0.5 })
+	// Cut column 0 (nodes 0 and 4) off: links 0-1 and 4-5.
+	for _, pair := range [][2]int{{0, 1}, {4, 5}} {
+		p := r.topo.PortTo(pair[0], pair[1])
+		r.net.FailLink(r.topo.Adjacency(pair[0])[p].Link)
+	}
+	r.agents[0].Trigger(magic.ReasonTimeout)
+	r.agents[1].Trigger(magic.ReasonTimeout)
+	r.run(t, 3*sim.Second, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	for _, n := range []int{0, 4} {
+		if !r.done[n].ShutDown {
+			t.Fatalf("minority node %d should shut down", n)
+		}
+	}
+	for _, n := range []int{1, 2, 3, 5, 6, 7} {
+		if r.done[n].ShutDown {
+			t.Fatalf("majority node %d should survive", n)
+		}
+	}
+}
+
+func TestBarrierTopologyHelpers(t *testing.T) {
+	r := newRig(t, 4, 2, nil)
+	a := r.agents[0]
+	// Hand the agent a converged view so the helpers can be probed
+	// without running the algorithm.
+	a.st = newSysState(8, len(r.topo.Links()))
+	for i := range a.st.Nodes {
+		a.st.Nodes[i] = triUp
+		a.st.Routers[i] = triUp
+	}
+	for l := range a.st.Links {
+		a.st.Links[l] = triUp
+	}
+	a.view = a.st.view(r.topo)
+	a.root = 0
+	a.bft = a.view.BFS(0)
+	a.participants = []int{0, 1, 2, 3, 4, 5, 6, 7}
+	a.partSet = map[int]bool{}
+	for _, p := range a.participants {
+		a.partSet[p] = true
+	}
+	if got := a.barrierParent(0); got != -1 {
+		t.Fatalf("root's parent = %d", got)
+	}
+	for v := 1; v < 8; v++ {
+		p := a.barrierParent(v)
+		if p < 0 || p == v {
+			t.Fatalf("parent(%d) = %d", v, p)
+		}
+		route := a.bftRoute(v, p)
+		if len(route) < 2 || route[0] != v || route[len(route)-1] != p {
+			t.Fatalf("bftRoute(%d,%d) = %v", v, p, route)
+		}
+	}
+	// Children of the root must cover exactly the nodes whose parent is 0.
+	ch := a.barrierChildren(0)
+	for _, c := range ch {
+		if a.barrierParent(c) != 0 {
+			t.Fatalf("child %d's parent is not the root", c)
+		}
+	}
+}
+
+func TestTriggerIgnoredWhileRunningAndWhenDead(t *testing.T) {
+	r := newRig(t, 2, 2, nil)
+	a := r.agents[0]
+	a.Trigger(magic.ReasonTimeout)
+	ep := a.Epoch()
+	a.Trigger(magic.ReasonNAKOverflow) // mid-recovery: ignored
+	if a.Epoch() != ep {
+		t.Fatal("mid-recovery trigger must not bump the epoch")
+	}
+	r.run(t, 2*sim.Second, []int{0, 1, 2, 3})
+	// A fresh fault after completion starts a new epoch.
+	a.Trigger(magic.ReasonTimeout)
+	if a.Epoch() != ep+1 {
+		t.Fatalf("post-completion trigger should bump epoch: %d", a.Epoch())
+	}
+	r.agents[1].Kill()
+	r.agents[1].Trigger(magic.ReasonTimeout)
+	if r.agents[1].Phase() != PhaseShutdown {
+		t.Fatal("killed agent must not restart")
+	}
+}

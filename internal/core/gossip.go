@@ -1,0 +1,271 @@
+package core
+
+import (
+	"flashfc/internal/interconnect"
+	"flashfc/internal/timing"
+)
+
+// Phase 2: information dissemination (§4.3). Each round, a node exchanges
+// its (link, node) state with every member of its cwn set and merges what
+// it receives. A node gains full knowledge after a number of rounds equal
+// to the height of the BFT rooted at it; to terminate consistently, all
+// nodes run until round > target, where target = 2h (twice the height of
+// the BFT rooted at the deterministically elected root), an upper bound on
+// the diameter. Nodes that finish keep echoing their final state so that
+// slower nodes never stall ("lame duck" responses).
+
+func (a *Agent) startDissemination() {
+	a.setPhase(PhaseDissemination)
+	if len(a.cwn) == 0 {
+		// Alone in the world: knowledge is already complete.
+		a.finishDissemination()
+		return
+	}
+	a.round = 1
+	a.target = 1 // grows as knowledge accumulates
+	a.stable = 0
+	a.sendRound()
+}
+
+// gossipWords is the serialized size of a state message.
+func (a *Agent) gossipWords() int { return a.st.words() + 4 }
+
+// sendRound serializes the node's current state once and ships it to every
+// cwn member, charging the marshaling plus per-destination send costs.
+func (a *Agent) sendRound() {
+	words := a.gossipWords()
+	charge := timing.InstrGossipRoundFixed + words*timing.InstrGossipPerWord +
+		len(a.cwn)*timing.InstrGossipPerNeighbor
+	round := a.round
+	a.execInstr(charge, func() {
+		if a.phase != PhaseDissemination || a.round != round {
+			return
+		}
+		for _, q := range a.cwn {
+			a.sendRec(q, a.cwnPath[q], interconnect.LaneRecoveryA, &recMsg{
+				Kind: kState, Round: round,
+				State: a.st.clone(), Target: a.target, Hint: a.hint,
+			})
+		}
+		a.checkRound()
+	})
+}
+
+// onState buffers an incoming gossip message and advances the round when
+// complete. After dissemination has finished locally, incoming state
+// messages get an immediate echo of the final state instead.
+func (a *Agent) onState(m *recMsg) {
+	if a.phase > PhaseDissemination && a.finalState != nil {
+		a.sendRec(m.From, a.routeTo(m.From), interconnect.LaneRecoveryA, &recMsg{
+			Kind: kState, Round: m.Round,
+			State: a.finalState.clone(), Target: a.target, Hint: a.hint,
+		})
+		return
+	}
+	rm := a.inbox[m.Round]
+	if rm == nil {
+		rm = map[int]*recMsg{}
+		a.inbox[m.Round] = rm
+	}
+	rm[m.From] = m
+	a.checkRound()
+}
+
+// checkRound merges the current round once all cwn messages are in. The
+// merging guard prevents double-scheduling when the last message arrives
+// while sendRound's charge is still being paid.
+func (a *Agent) checkRound() {
+	if a.phase != PhaseDissemination || a.round == 0 || a.merging {
+		return
+	}
+	rm := a.inbox[a.round]
+	for _, q := range a.cwn {
+		if rm == nil || rm[q] == nil {
+			return
+		}
+	}
+	a.merging = true
+	// The merge is one pass over the state arrays consulting all the
+	// received buffers, so its cost scales with the state size, not the
+	// neighbor count.
+	charge := 2 * a.gossipWords() * timing.InstrGossipPerWord
+	round := a.round
+	a.execInstr(charge, func() {
+		if a.phase != PhaseDissemination || a.round != round {
+			return
+		}
+		changed := false
+		for _, q := range a.cwn {
+			m := a.inbox[round][q]
+			if a.st.merge(m.State) {
+				changed = true
+			}
+			if m.Target > a.target {
+				a.target = m.Target
+			}
+			if m.Hint > a.hint {
+				a.hint = m.Hint
+			}
+		}
+		delete(a.inbox, round)
+		if changed {
+			a.stable = 0
+		} else {
+			a.stable++
+		}
+		a.report.Rounds = round
+		a.afterMerge()
+	})
+}
+
+// afterMerge updates the termination bound and either advances to the next
+// round or finishes. The 2h bound is recomputed once the local state is
+// stable; with BFT hints enabled a node that already received a hint skips
+// its own computation (the §4.3 scheduling optimization) and the final
+// tree is computed by everyone in parallel at the end of the phase.
+func (a *Agent) afterMerge() {
+	if a.stable >= 1 {
+		if a.cfg.BFTHints && a.hint > 0 {
+			if a.hint > a.target {
+				a.target = a.hint
+			}
+			a.advanceRound()
+			return
+		}
+		// Compute the BFT bound now, charging O(V+E); without hints
+		// this computation happens on every stable round and chains
+		// between neighbors.
+		v := a.st.view(a.Topo)
+		charge := timing.InstrBFTPerEdge * (a.Topo.Routers() + len(a.Topo.Links()))
+		a.execInstr(charge, func() {
+			if a.phase != PhaseDissemination {
+				return
+			}
+			bound, _ := v.DiameterBound()
+			if bound < 1 {
+				bound = 1
+			}
+			if bound > a.target {
+				a.target = bound
+			}
+			a.hint = bound
+			a.advanceRound()
+		})
+		return
+	}
+	a.advanceRound()
+}
+
+func (a *Agent) advanceRound() {
+	a.merging = false
+	if a.round >= a.target && a.stable >= 1 {
+		a.finishDissemination()
+		return
+	}
+	a.round++
+	a.sendRound()
+}
+
+// finishDissemination fixes the global view, elects the root, computes the
+// breadth-first tree used by all later barriers, determines which failure
+// units are doomed, and updates the hardware node map (§4.3).
+func (a *Agent) finishDissemination() {
+	a.finalState = a.st.clone()
+	charge := timing.InstrBFTPerEdge * (a.Topo.Routers() + len(a.Topo.Links()))
+	a.execInstr(charge, func() {
+		a.view = a.st.view(a.Topo)
+		functioning := a.st.functioningNodes()
+		if len(functioning) == 0 {
+			a.isolatedShutdown()
+			return
+		}
+		a.root = functioning[0]
+		a.bft = a.view.BFS(a.root)
+		// Participants: functioning nodes reachable from the root.
+		// The algorithm assumes no split brain (§4.2).
+		a.participants = nil
+		a.partSet = map[int]bool{}
+		for _, n := range functioning {
+			if a.bft.Dist[n] >= 0 {
+				a.participants = append(a.participants, n)
+				a.partSet[n] = true
+			}
+		}
+		if !a.partSet[a.ID] {
+			a.isolatedShutdown()
+			return
+		}
+		// Split-brain guard (§4.2): refuse to recover a minority island.
+		if a.cfg.QuorumFraction > 0 &&
+			float64(len(a.participants)) < a.cfg.QuorumFraction*float64(a.Topo.Routers()) {
+			a.isolatedShutdown()
+			return
+		}
+		// Failure units: a unit with any failed component takes its
+		// surviving members down with it after P4 (§4.3).
+		failedUnit := a.failedUnits()
+		units := a.cfg.FailureUnits
+		a.doomed = units != nil && failedUnit[units[a.ID]]
+		// Node map: failed nodes and doomed-unit members are marked
+		// down so that no new coherence requests target them.
+		for i := 0; i < a.Topo.Routers(); i++ {
+			up := a.st.Nodes[i] == triUp
+			if up && units != nil && failedUnit[units[i]] {
+				up = false
+			}
+			a.Ctrl.SetNodeUp(i, up)
+		}
+		a.report.P2End = a.E.Now()
+		a.startInterconnectRecovery()
+	})
+}
+
+// failedUnits returns the set of failure-unit ids containing any failed
+// node, failed router, or failed intra-unit link.
+func (a *Agent) failedUnits() map[int]bool {
+	out := map[int]bool{}
+	units := a.cfg.FailureUnits
+	if units == nil {
+		return out
+	}
+	for i := 0; i < a.Topo.Routers(); i++ {
+		if a.st.Nodes[i] == triDown || a.st.Routers[i] == triDown {
+			out[units[i]] = true
+		}
+	}
+	for l, st := range a.st.Links {
+		if st != triDown {
+			continue
+		}
+		link := a.Topo.Links()[l]
+		if units[link.A] == units[link.B] {
+			out[units[link.A]] = true
+		}
+	}
+	return out
+}
+
+// routeTo returns (and caches) a source route to a participant, following
+// the post-dissemination view.
+func (a *Agent) routeTo(node int) []int {
+	if r, ok := a.routeCache[node]; ok {
+		return r
+	}
+	var route []int
+	if p, ok := a.cwnPath[node]; ok {
+		route = p
+	} else if a.view != nil {
+		b := a.view.BFS(a.ID)
+		if b.Dist[node] >= 0 {
+			// Walk parents back from node to self.
+			rev := []int{node}
+			for r := node; r != a.ID; {
+				r = b.Parent[r]
+				rev = append(rev, r)
+			}
+			route = reverseRoute(rev)
+		}
+	}
+	a.routeCache[node] = route
+	return route
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"flashfc/internal/timing"
+	"flashfc/internal/topology"
+)
+
+// Phase 3: interconnect recovery (§4.4): isolate the failed regions, let
+// the stalled traffic drain (two-phase agreement with the τ bound), then
+// reprogram the routing tables deadlock-free and barrier before any new
+// coherence traffic is injected.
+
+func (a *Agent) startInterconnectRecovery() {
+	a.setPhase(PhaseInterconnect)
+	// Isolation: reprogram this node's own router to discard traffic
+	// headed into dead links/routers. The elected root additionally
+	// reprograms the live routers of dead nodes (their processors cannot
+	// do it), including the local-delivery discard that unclogs a
+	// controller stuck in an infinite loop.
+	charge := timing.InstrRecoveryEntry / 4
+	if a.ID == a.root {
+		charge += a.Topo.Routers() * 8
+	}
+	a.execInstr(charge, func() {
+		a.isolateRouter(a.ID)
+		if a.ID == a.root {
+			for r := 0; r < a.Topo.Routers(); r++ {
+				if a.st.Routers[r] == triUp && a.st.Nodes[r] != triUp {
+					a.isolateRouter(r)
+					a.Net.SetDiscardLocal(r, true)
+				}
+			}
+		}
+		a.startDrain(0)
+	})
+}
+
+// isolateRouter configures discards on every port of r that points at a
+// dead link or dead router.
+func (a *Agent) isolateRouter(r int) {
+	for port, adj := range a.Topo.Adjacency(r) {
+		if a.st.Links[adj.Link] == triDown || a.st.Routers[adj.To] == triDown {
+			a.Net.SetDiscard(r, port, true)
+		}
+	}
+}
+
+// startDrain runs one attempt of the two-phase drain agreement: vote to
+// proceed after seeing no stalled-traffic delivery for τ; confirm in a
+// second phase that nothing arrived since the first vote, else restart.
+func (a *Agent) startDrain(attempt int) {
+	nameA := fmt.Sprintf("drain-a#%d", attempt)
+	nameB := fmt.Sprintf("drain-b#%d", attempt)
+	a.startBarrier(nameA, func(bool) {
+		dirty := a.Ctrl.LastNormalDelivery() > a.voteAt
+		a.startBarrier(nameB, func(dirty bool) {
+			if dirty {
+				a.startDrain(attempt + 1)
+				return
+			}
+			a.reprogramRoutes()
+		})
+		a.barrierReady(nameB, dirty)
+	})
+	a.drainQuietCheck(nameA, attempt)
+}
+
+// drainQuietCheck votes in the drain barrier once the controller has seen
+// no normal-lane delivery for τ.
+func (a *Agent) drainQuietCheck(name string, attempt int) {
+	epoch := a.epoch
+	var check func()
+	check = func() {
+		if a.epoch != epoch || a.phase != PhaseInterconnect {
+			return
+		}
+		last := a.Ctrl.LastNormalDelivery()
+		quiet := a.E.Now() - last
+		if quiet >= a.cfg.DrainTau {
+			a.voteAt = a.E.Now()
+			a.barrierReady(name, false)
+			return
+		}
+		a.E.After(a.cfg.DrainTau-quiet, check)
+	}
+	a.E.After(a.cfg.DrainTau, check)
+}
+
+// reprogramRoutes computes the up*/down* tables on the surviving graph and
+// installs this node's router row (the root also handles dead nodes' live
+// routers), then barriers before new traffic is allowed (§4.4).
+func (a *Agent) reprogramRoutes() {
+	n := a.Topo.Routers()
+	charge := n * timing.InstrRouteTablePerEntry
+	if a.ID == a.root {
+		charge *= 2 // rows for orphaned routers too
+	}
+	a.execInstr(charge, func() {
+		tables := topology.UpDownTables(a.view, a.bft)
+		a.Net.SetRouterTable(a.ID, tables[a.ID])
+		if a.ID == a.root {
+			for r := 0; r < n; r++ {
+				if a.st.Routers[r] == triUp && a.st.Nodes[r] != triUp {
+					a.Net.SetRouterTable(r, tables[r])
+				}
+			}
+		}
+		a.startBarrier("p3-post", func(bool) {
+			a.report.P3End = a.E.Now()
+			a.startCoherenceRecovery()
+		})
+		a.barrierReady("p3-post", false)
+	})
+}

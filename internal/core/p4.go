@@ -1,0 +1,146 @@
+package core
+
+import (
+	"flashfc/internal/interconnect"
+	"flashfc/internal/magic"
+	"flashfc/internal/sim"
+	"flashfc/internal/timing"
+)
+
+// Phase 4: cache coherence protocol recovery (§4.5): every node switches
+// its controller to flush mode (barrier), flushes its processor cache
+// sending all dirty lines home, joins an all-to-all barrier that rides the
+// normal lanes behind the writebacks (in-order delivery ⇒ every writeback
+// destined to a node precedes that node's barrier message), sweeps its
+// directory marking lost lines incoherent, and barriers once more before
+// normal operation resumes.
+
+func (a *Agent) startCoherenceRecovery() {
+	a.setPhase(PhaseCoherence)
+	if a.cfg.ReliableInterconnect {
+		// §6.3: with HAL-style end-to-end reliability no writeback was
+		// ever lost, so the flush is eliminated; only the directory
+		// sweep remains, and caches stay warm across recovery.
+		a.startBarrier("p4-mode", func(bool) { a.doScanReliable() })
+		a.barrierReady("p4-mode", false)
+		return
+	}
+	a.Ctrl.SetMode(magic.ModeFlush)
+	a.startBarrier("p4-mode", func(bool) { a.doFlush() })
+	a.barrierReady("p4-mode", false)
+}
+
+// doScanReliable is the flush-free §6.3 sweep: lines owned or locked by
+// dead nodes become incoherent; everything held by survivors stays valid
+// in place.
+func (a *Agent) doScanReliable() {
+	a.report.FlushEnd = a.E.Now()
+	scanTime := sim.Time(a.cfg.MemChargeLines) * timing.DirScanPerLine
+	a.armWatchdogFor(2*scanTime + a.cfg.WatchdogTimeout)
+	a.execTime(scanTime, func() {
+		a.report.Incoherent = len(a.Ctrl.ScanDirectoryLiveness())
+		a.startBarrier("p4-done", func(bool) { a.finishRecovery() })
+		a.barrierReady("p4-done", false)
+	})
+}
+
+// doFlush iterates the whole second-level cache (cost scales with the
+// configured L2 size, Fig 5.6 left) and sends every exclusive line home.
+// With a hardwired controller the processor drives the flush through
+// uncached controller accesses, costing extra instructions per line (§6.2).
+func (a *Agent) doFlush() {
+	perLine := timing.InstrFlushPerLine
+	if a.cfg.HardwiredController {
+		perLine = timing.InstrHardwiredFlushPerLine
+	}
+	charge := a.cfg.L2ChargeLines * perLine
+	a.armWatchdogFor(2*sim.Time(charge)*a.cfg.UncachedInstr + a.cfg.WatchdogTimeout)
+	a.execInstr(charge, func() {
+		a.report.Writebacks = a.Ctrl.FlushCache()
+		a.report.FlushEnd = a.E.Now()
+		// All-to-all barrier: one message to every other participant
+		// on the normal reply lane, behind our writebacks.
+		for _, q := range a.participants {
+			if q == a.ID {
+				continue
+			}
+			a.sendRec(q, nil, interconnect.LaneReply, &recMsg{Kind: kFlushDone})
+		}
+		a.flushFrom[a.ID] = true
+		a.checkFlushBarrier()
+	})
+}
+
+// onFlushDone records a peer's flush completion. Arrivals may precede this
+// node's own flush; the map is consulted when both sides are ready.
+func (a *Agent) onFlushDone(m *recMsg) {
+	a.flushFrom[m.From] = true
+	a.checkFlushBarrier()
+}
+
+func (a *Agent) checkFlushBarrier() {
+	if a.phase != PhaseCoherence || a.scanned || !a.flushFrom[a.ID] {
+		return
+	}
+	for _, q := range a.participants {
+		if !a.flushFrom[q] {
+			return
+		}
+	}
+	a.scanned = true
+	a.doScan()
+}
+
+// doScan sweeps this node's directory (cost scales with the per-node
+// memory size, Fig 5.6 right): lines still cached exclusive have lost
+// their only valid copy and are marked incoherent. A hardwired controller
+// cannot run the sweep itself: the processor reads the exposed directory
+// state through uncached accesses, several times slower (§6.2).
+func (a *Agent) doScan() {
+	if a.cfg.HardwiredController {
+		charge := a.cfg.MemChargeLines * timing.InstrHardwiredScanPerLine
+		a.armWatchdogFor(2*sim.Time(charge)*a.cfg.UncachedInstr + a.cfg.WatchdogTimeout)
+		a.execInstr(charge, func() {
+			a.report.Incoherent = len(a.Ctrl.ScanDirectory())
+			a.startBarrier("p4-done", func(bool) { a.finishRecovery() })
+			a.barrierReady("p4-done", false)
+		})
+		return
+	}
+	scanTime := sim.Time(a.cfg.MemChargeLines) * timing.DirScanPerLine
+	a.armWatchdogFor(2*scanTime + a.cfg.WatchdogTimeout)
+	a.execTime(scanTime, func() {
+		a.report.Incoherent = len(a.Ctrl.ScanDirectory())
+		a.startBarrier("p4-done", func(bool) { a.finishRecovery() })
+		a.barrierReady("p4-done", false)
+	})
+}
+
+// finishRecovery resumes normal operation — or shuts the node down if its
+// failure unit lost a component (§4.3).
+func (a *Agent) finishRecovery() {
+	a.report.P4End = a.E.Now()
+	if a.watchdog != nil {
+		a.watchdog.Cancel()
+	}
+	if a.doomed {
+		a.report.ShutDown = true
+		a.setPhase(PhaseShutdown)
+		a.Ctrl.SetMode(magic.ModeDead)
+	} else {
+		a.setPhase(PhaseDone)
+		a.Ctrl.SetMode(magic.ModeNormal)
+	}
+	if a.cfg.ReliableInterconnect && a.ID == a.root && !a.doomed {
+		// Once everyone has resumed, the fabric's end-to-end machinery
+		// resends what the failure destroyed (§6.3). The short delay
+		// models the hardware retransmission timer and guarantees all
+		// controllers are back in normal mode.
+		a.E.After(sim.Millisecond, func() {
+			a.Net.RetransmitLost(a.Ctrl.NodeUp)
+		})
+	}
+	if a.cfg.OnComplete != nil {
+		a.cfg.OnComplete(a.report)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flashfc/internal/stats"
+)
+
+// Multi-seed distribution runs: the paper plots single representative
+// recovery times; this driver quantifies how tight they are across random
+// fault placements and workload interleavings.
+
+// Distribution summarizes recovery-time statistics across seeds.
+type Distribution struct {
+	Nodes  int
+	P1     stats.Summary // milliseconds
+	P2     stats.Summary
+	P3     stats.Summary
+	P4     stats.Summary
+	Total  stats.Summary
+	Failed int // runs that did not complete recovery
+}
+
+// RecoveryDistribution measures per-phase recovery times over `seeds`
+// independent runs of cfg (cfg.Seed is replaced per run and the victim node
+// varies with it, so the distribution covers fault placement too).
+func RecoveryDistribution(cfg ScalingConfig, seeds int) Distribution {
+	d := Distribution{Nodes: cfg.Nodes}
+	var p1, p2, p3, p4, total []float64
+	for s := 0; s < seeds; s++ {
+		run := cfg
+		run.Seed = int64(s + 1)
+		if run.Victim < 0 && cfg.Nodes > 1 {
+			run.Victim = 1 + (s*7)%(cfg.Nodes-1)
+		}
+		p := MeasureRecovery(run)
+		if !p.OK {
+			d.Failed++
+			continue
+		}
+		ph := p.Phases
+		p1 = append(p1, ph.P1.Milliseconds())
+		p2 = append(p2, ph.P2Time().Milliseconds())
+		p3 = append(p3, (ph.P123 - ph.P12).Milliseconds())
+		p4 = append(p4, ph.P4Time().Milliseconds())
+		total = append(total, ph.Total.Milliseconds())
+	}
+	d.P1 = stats.Summarize(p1)
+	d.P2 = stats.Summarize(p2)
+	d.P3 = stats.Summarize(p3)
+	d.P4 = stats.Summarize(p4)
+	d.Total = stats.Summarize(total)
+	return d
+}

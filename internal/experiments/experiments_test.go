@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"testing"
+
+	"flashfc/internal/fault"
+	"flashfc/internal/machine"
+	"flashfc/internal/sim"
+	"flashfc/internal/trace"
+)
+
+func fastValidationConfig() ValidationConfig {
+	cfg := DefaultValidationConfig()
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	cfg.FillLines = 48
+	return cfg
+}
+
+func TestValidationEachFaultType(t *testing.T) {
+	cfg := fastValidationConfig()
+	for _, ft := range fault.AllTypes() {
+		for seed := int64(1); seed <= 3; seed++ {
+			r := Validation(cfg, ft, seed)
+			if !r.OK() {
+				t.Errorf("%v seed %d failed: recovered=%v note=%s fault=%v",
+					ft, seed, r.Recovered, r.Note, r.Fault)
+			}
+		}
+	}
+}
+
+func TestValidationPhasesPopulated(t *testing.T) {
+	r := Validation(fastValidationConfig(), fault.NodeFailure, 42)
+	if !r.OK() {
+		t.Fatalf("run failed: %s", r.Note)
+	}
+	p := r.Phases
+	if !(p.P1 > 0 && p.P1 <= p.P12 && p.P12 <= p.P123 && p.P123 <= p.Total) {
+		t.Fatalf("phases not cumulative: %+v", p)
+	}
+	if p.WB <= 0 || p.Scan <= 0 {
+		t.Fatalf("P4 components missing: %+v", p)
+	}
+}
+
+func TestTable53SmallBatch(t *testing.T) {
+	rows := Table53(fastValidationConfig(), 2, 7)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Failed != 0 {
+			t.Errorf("%v: %d/%d failed", row.Fault, row.Failed, row.Runs)
+		}
+	}
+}
+
+func TestMeasureRecoveryScalesWithNodes(t *testing.T) {
+	small := MeasureRecovery(DefaultScalingConfig(8))
+	big := MeasureRecovery(DefaultScalingConfig(32))
+	if !small.OK || !big.OK {
+		t.Fatalf("runs incomplete: %v %v", small.OK, big.OK)
+	}
+	if big.Phases.P2Time() <= small.Phases.P2Time() {
+		t.Errorf("dissemination should grow with node count: 8=%v 32=%v",
+			small.Phases.P2Time(), big.Phases.P2Time())
+	}
+}
+
+func TestFig56L2Linear(t *testing.T) {
+	pts := Fig56L2([]uint64{512 << 10, 2 << 20, 4 << 20}, 3)
+	if len(pts) != 3 {
+		t.Fatal("points missing")
+	}
+	// WB should scale roughly linearly with the L2 size: 4 MB should be
+	// ~8x the 0.5 MB time, allowing generous slack for fixed costs.
+	r := float64(pts[2].Phases.WB) / float64(pts[0].Phases.WB)
+	if r < 4 || r > 12 {
+		t.Errorf("WB(4MB)/WB(0.5MB) = %.1f, want ~8 (WBs: %v %v %v)",
+			r, pts[0].Phases.WB, pts[1].Phases.WB, pts[2].Phases.WB)
+	}
+}
+
+func TestFig56MemLinear(t *testing.T) {
+	pts := Fig56Mem([]uint64{1 << 20, 16 << 20}, 3)
+	r := float64(pts[1].Phases.Scan) / float64(pts[0].Phases.Scan)
+	if r < 8 || r > 24 {
+		t.Errorf("Scan(16MB)/Scan(1MB) = %.1f, want ~16", r)
+	}
+	// At 16 MB/node the sweep should take tens of ms (paper: ~45 ms).
+	if pts[1].Phases.Scan < 20*sim.Millisecond || pts[1].Phases.Scan > 100*sim.Millisecond {
+		t.Errorf("Scan(16MB) = %v, want ~45ms", pts[1].Phases.Scan)
+	}
+}
+
+func TestHypercubeDisseminationFasterAtScale(t *testing.T) {
+	mesh := Fig55([]int{64}, machine.TopoMesh, 5)[0]
+	hyper := Fig55([]int{64}, machine.TopoHypercube, 5)[0]
+	if !mesh.OK || !hyper.OK {
+		t.Fatal("incomplete runs")
+	}
+	if hyper.Phases.P2Time() >= mesh.Phases.P2Time() {
+		t.Errorf("hypercube P2 (%v) should beat mesh P2 (%v) at 64 nodes",
+			hyper.Phases.P2Time(), mesh.Phases.P2Time())
+	}
+}
+
+func TestEndToEndCleanAndFaulty(t *testing.T) {
+	cfg := DefaultEndToEndConfig()
+	cfg.MemBytes = 256 << 10
+	cfg.L2Bytes = 16 << 10
+	for _, ft := range []fault.Type{fault.NodeFailure, fault.InfiniteLoop, fault.LinkFailure, fault.RouterFailure} {
+		r := EndToEnd(cfg, ft, 11)
+		if !r.OK() {
+			t.Errorf("%v: failed (%s); outcome=%+v fault=%v", ft, r.Note, r.Outcome, r.Fault)
+		}
+	}
+}
+
+func TestFig57Monotone(t *testing.T) {
+	pts := Fig57([]int{2, 8}, 1<<20, 64<<10, 9)
+	for _, p := range pts {
+		if !p.OK {
+			t.Fatalf("run at %d nodes failed", p.Nodes)
+		}
+		if p.HW <= 0 || p.HWOS <= p.HW {
+			t.Errorf("suspension times wrong at %d nodes: hw=%v hw+os=%v", p.Nodes, p.HW, p.HWOS)
+		}
+	}
+}
+
+func TestFirewallOverheadUnderSevenPercent(t *testing.T) {
+	frac := FirewallOverheadFraction(1)
+	if frac <= 0 {
+		t.Fatal("firewall should cost something")
+	}
+	if frac >= 0.07 {
+		t.Fatalf("firewall overhead %.1f%% exceeds the paper's 7%% bound", frac*100)
+	}
+}
+
+func TestSpeculativePingSpeedsTriggering(t *testing.T) {
+	with := TriggerLatency(32, true, 2)
+	without := TriggerLatency(32, false, 2)
+	if with <= 0 || without <= 0 {
+		t.Fatalf("latencies not measured: with=%v without=%v", with, without)
+	}
+	if without <= with {
+		t.Errorf("speculative pings should speed triggering: with=%v without=%v", with, without)
+	}
+}
+
+func TestBFTHintsSpeedDissemination(t *testing.T) {
+	on, off := true, false
+	cfgOn := DefaultScalingConfig(32)
+	cfgOn.BFTHints = &on
+	cfgOff := DefaultScalingConfig(32)
+	cfgOff.BFTHints = &off
+	pOn := MeasureRecovery(cfgOn)
+	pOff := MeasureRecovery(cfgOff)
+	if !pOn.OK || !pOff.OK {
+		t.Fatal("incomplete runs")
+	}
+	if pOff.Phases.P2Time() <= pOn.Phases.P2Time() {
+		t.Errorf("hints should speed dissemination: on=%v off=%v",
+			pOn.Phases.P2Time(), pOff.Phases.P2Time())
+	}
+}
+
+func TestRecoveryDistribution(t *testing.T) {
+	cfg := DefaultScalingConfig(8)
+	d := RecoveryDistribution(cfg, 5)
+	if d.Failed != 0 {
+		t.Fatalf("failed runs: %d", d.Failed)
+	}
+	if d.Total.N != 5 || d.Total.Min <= 0 || d.Total.Min > d.Total.Max {
+		t.Fatalf("total summary: %+v", d.Total)
+	}
+	// Phase means must add up approximately to the total mean.
+	sum := d.P1.Mean + d.P2.Mean + d.P3.Mean + d.P4.Mean
+	if sum < 0.8*d.Total.Mean || sum > 1.2*d.Total.Mean {
+		t.Fatalf("phases (%v) do not compose to total (%v)", sum, d.Total.Mean)
+	}
+}
+
+func TestValidationTraceTimeline(t *testing.T) {
+	cfg := fastValidationConfig()
+	tr := trace.New(0)
+	cfg.Trace = tr
+	r := Validation(cfg, fault.NodeFailure, 3)
+	if !r.OK() {
+		t.Fatalf("run failed: %s", r.Note)
+	}
+	if len(tr.ByKind(trace.KindFault)) != 1 {
+		t.Fatalf("fault events = %d", len(tr.ByKind(trace.KindFault)))
+	}
+	phases := tr.ByKind(trace.KindPhase)
+	if len(phases) < 10 {
+		t.Fatalf("phase events = %d, want a full timeline", len(phases))
+	}
+	completes := tr.ByKind(trace.KindComplete)
+	if len(completes) != 7 {
+		t.Fatalf("completions = %d, want 7 survivors", len(completes))
+	}
+	// The fault strictly precedes every completion.
+	faultT := tr.ByKind(trace.KindFault)[0].T
+	for _, c := range completes {
+		if c.T <= faultT {
+			t.Fatal("completion before the fault?")
+		}
+	}
+}

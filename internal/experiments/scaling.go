@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"flashfc/internal/fault"
+	"flashfc/internal/machine"
+	"flashfc/internal/sim"
+	"flashfc/internal/workload"
+)
+
+// Fig 5.5 / Fig 5.6 drivers: hardware recovery time scaling.
+
+// ScalingConfig shapes one recovery-time measurement.
+type ScalingConfig struct {
+	Nodes    int
+	Topo     machine.TopoKind
+	MemBytes uint64 // per-node memory (drives the P4 directory sweep)
+	L2Bytes  uint64 // L2 size (drives the P4 flush)
+	// FillLines bounds the workload's cache fill; the P4 charges use the
+	// configured sizes regardless, as in Fig 5.6's no-contention model.
+	FillLines int
+	Seed      int64
+	Deadline  sim.Time
+	// Victim selects the node to kill; -1 picks the middle of the mesh.
+	Victim int
+	// Knobs for the ablation studies.
+	SpeculativePing *bool
+	BFTHints        *bool
+}
+
+// DefaultScalingConfig is the Fig 5.5 configuration: mesh, 1 MB memory per
+// node, 1 MB L2, a node failure.
+func DefaultScalingConfig(nodes int) ScalingConfig {
+	return ScalingConfig{
+		Nodes:     nodes,
+		Topo:      machine.TopoMesh,
+		MemBytes:  1 << 20,
+		L2Bytes:   1 << 20,
+		FillLines: 128,
+		Seed:      1,
+		Victim:    -1,
+		Deadline:  20 * sim.Second,
+	}
+}
+
+// ScalingPoint is one measured configuration.
+type ScalingPoint struct {
+	Nodes  int
+	Phases machine.PhaseTimes
+	OK     bool
+}
+
+// MeasureRecovery builds the machine, fills caches lightly, injects a node
+// failure, and returns the aggregated per-phase recovery times.
+func MeasureRecovery(cfg ScalingConfig) ScalingPoint {
+	mc := machine.DefaultConfig(cfg.Nodes)
+	mc.Topo = cfg.Topo
+	mc.Seed = cfg.Seed
+	mc.MemBytes = cfg.MemBytes
+	mc.L2Bytes = cfg.L2Bytes
+	if cfg.SpeculativePing != nil {
+		mc.Recovery.SpeculativePing = *cfg.SpeculativePing
+	}
+	if cfg.BFTHints != nil {
+		mc.Recovery.BFTHints = *cfg.BFTHints
+	}
+	m := machine.New(mc)
+	victim := cfg.Victim
+	if victim < 0 || victim >= cfg.Nodes {
+		victim = cfg.Nodes / 2
+	}
+	if victim == 0 {
+		victim = cfg.Nodes - 1
+	}
+	f := fault.Fault{Type: fault.NodeFailure, Node: victim}
+
+	filler := workload.NewFiller(m)
+	if cfg.FillLines > 0 && cfg.FillLines < filler.FillLines {
+		filler.FillLines = cfg.FillLines
+	}
+	filler.OnHalfDone = func() { m.Inject(f) }
+	filler.Start(func() {})
+	m.Nodes[0].CPU.Submit(workload.TouchOp(m, victim))
+	ok := m.RunUntilRecovered(cfg.Deadline)
+	return ScalingPoint{Nodes: cfg.Nodes, Phases: m.Aggregate(), OK: ok}
+}
+
+// Fig55 sweeps the node counts of Fig 5.5 on the given topology.
+func Fig55(nodeCounts []int, topo machine.TopoKind, seed int64) []ScalingPoint {
+	var out []ScalingPoint
+	for _, n := range nodeCounts {
+		cfg := DefaultScalingConfig(n)
+		cfg.Topo = topo
+		cfg.Seed = seed
+		out = append(out, MeasureRecovery(cfg))
+	}
+	return out
+}
+
+// Fig56L2 sweeps the second-level cache size at 4 nodes (Fig 5.6 left):
+// the flush (WB) component scales linearly with the L2 size.
+func Fig56L2(l2Sizes []uint64, seed int64) []ScalingPoint {
+	var out []ScalingPoint
+	for _, l2 := range l2Sizes {
+		cfg := DefaultScalingConfig(4)
+		cfg.L2Bytes = l2
+		cfg.MemBytes = 4 << 20
+		cfg.Seed = seed
+		p := MeasureRecovery(cfg)
+		p.Nodes = int(l2 >> 20) // abused as the x coordinate in MB
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right): the
+// directory-sweep component of P4 scales linearly with memory.
+func Fig56Mem(memSizes []uint64, seed int64) []ScalingPoint {
+	var out []ScalingPoint
+	for _, mem := range memSizes {
+		cfg := DefaultScalingConfig(4)
+		cfg.MemBytes = mem
+		cfg.Seed = seed
+		p := MeasureRecovery(cfg)
+		p.Nodes = int(mem >> 20)
+		out = append(out, p)
+	}
+	return out
+}
+
+// TriggerLatency measures the §4.2 recovery-triggering latency: the time
+// from fault injection until the last functioning node has dropped into
+// recovery, with or without speculative pings (the paper reports the
+// optimization speeds up triggering about fivefold).
+func TriggerLatency(nodes int, speculative bool, seed int64) sim.Time {
+	mc := machine.DefaultConfig(nodes)
+	mc.Seed = seed
+	mc.MemBytes = 64 << 10
+	mc.L2Bytes = 16 << 10
+	mc.Recovery.SpeculativePing = speculative
+	var m *machine.Machine
+	var lastEnter sim.Time
+	mc.Recovery.OnEnter = func(id int) { lastEnter = m.E.Now() }
+	m = machine.New(mc)
+	victim := nodes / 2
+	var injectAt sim.Time
+	m.E.At(10*sim.Microsecond, func() {
+		injectAt = m.E.Now()
+		m.Inject(fault.Fault{Type: fault.NodeFailure, Node: victim})
+		m.Nodes[0].CPU.Submit(workload.TouchOp(m, victim))
+	})
+	m.RunUntilRecovered(10 * sim.Second)
+	return lastEnter - injectAt
+}

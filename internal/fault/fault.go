@@ -1,0 +1,155 @@
+// Package fault defines the fault-injection vocabulary of the experiments
+// (Table 5.2): node failures, router failures, link failures, MAGIC-handler
+// infinite loops, and false alarms. Faults are applied to a Target — the
+// machine layer implements it — so injection plans can be built and logged
+// independently of the machine.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flashfc/internal/topology"
+)
+
+// Type is a fault class from Table 5.2.
+type Type int
+
+const (
+	// NodeFailure: MAGIC fails but the router stays up; packets sent to
+	// the node controller are discarded.
+	NodeFailure Type = iota
+	// RouterFailure: packets sent to the router are discarded.
+	RouterFailure
+	// LinkFailure: packets that try to traverse the link are dropped.
+	LinkFailure
+	// InfiniteLoop: MAGIC stops accepting packets; traffic directed to
+	// the node backs up into the interconnect.
+	InfiniteLoop
+	// FalseAlarm: recovery triggered by an exceptional overload condition
+	// in the absence of a fault.
+	FalseAlarm
+)
+
+var typeNames = [...]string{
+	"node-failure", "router-failure", "link-failure", "infinite-loop", "false-alarm",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("fault%d", int(t))
+}
+
+// AllTypes lists the injectable fault classes in Table 5.2 order.
+func AllTypes() []Type {
+	return []Type{NodeFailure, RouterFailure, LinkFailure, InfiniteLoop, FalseAlarm}
+}
+
+// Fault is one concrete injection.
+type Fault struct {
+	Type Type
+	// Node is the victim node for NodeFailure/InfiniteLoop/FalseAlarm.
+	Node int
+	// Router is the victim router for RouterFailure.
+	Router int
+	// Link is the victim link for LinkFailure.
+	Link int
+}
+
+func (f Fault) String() string {
+	switch f.Type {
+	case NodeFailure, InfiniteLoop, FalseAlarm:
+		return fmt.Sprintf("%v(node %d)", f.Type, f.Node)
+	case RouterFailure:
+		return fmt.Sprintf("%v(router %d)", f.Type, f.Router)
+	case LinkFailure:
+		return fmt.Sprintf("%v(link %d)", f.Type, f.Link)
+	default:
+		return f.Type.String()
+	}
+}
+
+// Target is the set of primitive failure actions a machine exposes.
+type Target interface {
+	// KillNode makes node id's controller, processor, memory and caches
+	// unavailable; the router stays up.
+	KillNode(id int)
+	// LoopNode wedges node id's controller in a handler infinite loop.
+	LoopNode(id int)
+	// FailRouter kills router r and all links attached to it.
+	FailRouter(r int)
+	// FailLink kills link l.
+	FailLink(l int)
+	// FalseAlarm triggers recovery on node id with no actual fault.
+	FalseAlarm(id int)
+}
+
+// Apply injects f into t.
+func (f Fault) Apply(t Target) {
+	switch f.Type {
+	case NodeFailure:
+		t.KillNode(f.Node)
+	case RouterFailure:
+		t.FailRouter(f.Router)
+	case LinkFailure:
+		t.FailLink(f.Link)
+	case InfiniteLoop:
+		t.LoopNode(f.Node)
+	case FalseAlarm:
+		t.FalseAlarm(f.Node)
+	}
+}
+
+// PowerLoss models a partial power-supply failure (§4.1): every node in the
+// region loses its controller, processor and memory, and its router and all
+// attached links go with it. The result is the list of primitive faults to
+// inject together.
+func PowerLoss(nodes []int) []Fault {
+	var out []Fault
+	for _, n := range nodes {
+		out = append(out,
+			Fault{Type: NodeFailure, Node: n},
+			Fault{Type: RouterFailure, Router: n})
+	}
+	return out
+}
+
+// CableCut models a disconnected inter-cabinet cable (§4.1): simultaneous
+// failure of every mesh link crossing between column x and column x+1.
+func CableCut(topo *topology.Topology, x int) []Fault {
+	var out []Fault
+	for l, link := range topo.Links() {
+		ax, _ := topo.MeshCoord(link.A)
+		bx, _ := topo.MeshCoord(link.B)
+		if (ax == x && bx == x+1) || (ax == x+1 && bx == x) {
+			out = append(out, Fault{Type: LinkFailure, Link: l})
+		}
+	}
+	return out
+}
+
+// Random draws a fault of the given type with a victim chosen uniformly.
+// Node 0 is never the victim of a node-class fault when spare > 0 nodes
+// must survive; the validation harness passes spare=1 so at least one node
+// remains to run verification.
+func Random(rng *rand.Rand, t Type, topo *topology.Topology, spare int) Fault {
+	n := topo.Routers()
+	pickNode := func() int {
+		if spare >= n {
+			return n - 1
+		}
+		return spare + rng.Intn(n-spare)
+	}
+	switch t {
+	case NodeFailure, InfiniteLoop, FalseAlarm:
+		return Fault{Type: t, Node: pickNode()}
+	case RouterFailure:
+		return Fault{Type: t, Router: pickNode()}
+	case LinkFailure:
+		return Fault{Type: t, Link: rng.Intn(len(topo.Links()))}
+	default:
+		panic("fault: unknown type")
+	}
+}

@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flashfc/internal/topology"
+)
+
+// recorder implements Target and records applied actions.
+type recorder struct {
+	killed, looped, alarmed []int
+	routers, links          []int
+}
+
+func (r *recorder) KillNode(id int)   { r.killed = append(r.killed, id) }
+func (r *recorder) LoopNode(id int)   { r.looped = append(r.looped, id) }
+func (r *recorder) FailRouter(x int)  { r.routers = append(r.routers, x) }
+func (r *recorder) FailLink(l int)    { r.links = append(r.links, l) }
+func (r *recorder) FalseAlarm(id int) { r.alarmed = append(r.alarmed, id) }
+
+func TestApplyDispatch(t *testing.T) {
+	rec := &recorder{}
+	Fault{Type: NodeFailure, Node: 3}.Apply(rec)
+	Fault{Type: InfiniteLoop, Node: 4}.Apply(rec)
+	Fault{Type: RouterFailure, Router: 5}.Apply(rec)
+	Fault{Type: LinkFailure, Link: 6}.Apply(rec)
+	Fault{Type: FalseAlarm, Node: 7}.Apply(rec)
+	if len(rec.killed) != 1 || rec.killed[0] != 3 {
+		t.Errorf("killed = %v", rec.killed)
+	}
+	if len(rec.looped) != 1 || rec.looped[0] != 4 {
+		t.Errorf("looped = %v", rec.looped)
+	}
+	if len(rec.routers) != 1 || rec.routers[0] != 5 {
+		t.Errorf("routers = %v", rec.routers)
+	}
+	if len(rec.links) != 1 || rec.links[0] != 6 {
+		t.Errorf("links = %v", rec.links)
+	}
+	if len(rec.alarmed) != 1 || rec.alarmed[0] != 7 {
+		t.Errorf("alarmed = %v", rec.alarmed)
+	}
+}
+
+func TestAllTypesAndStrings(t *testing.T) {
+	types := AllTypes()
+	if len(types) != 5 {
+		t.Fatalf("AllTypes = %v", types)
+	}
+	for _, ty := range types {
+		if ty.String() == "" {
+			t.Fatal("empty type name")
+		}
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown type name empty")
+	}
+	for _, f := range []Fault{
+		{Type: NodeFailure, Node: 1},
+		{Type: RouterFailure, Router: 2},
+		{Type: LinkFailure, Link: 3},
+		{Type: InfiniteLoop, Node: 4},
+		{Type: FalseAlarm, Node: 5},
+	} {
+		if f.String() == "" {
+			t.Fatalf("empty fault string for %v", f.Type)
+		}
+	}
+}
+
+// Property: Random never victimizes a spared node with node-class faults,
+// and always picks valid victims.
+func TestQuickRandomRespectsSpare(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	f := func(seed int64, spare uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := int(spare) % 4
+		for _, ty := range AllTypes() {
+			fl := Random(rng, ty, topo, sp)
+			switch ty {
+			case NodeFailure, InfiniteLoop, FalseAlarm:
+				if fl.Node < sp || fl.Node >= topo.Routers() {
+					return false
+				}
+			case RouterFailure:
+				if fl.Router < sp || fl.Router >= topo.Routers() {
+					return false
+				}
+			case LinkFailure:
+				if fl.Link < 0 || fl.Link >= len(topo.Links()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDegenerateSpare(t *testing.T) {
+	topo := topology.NewMesh(2, 1)
+	rng := rand.New(rand.NewSource(1))
+	f := Random(rng, NodeFailure, topo, 5) // spare >= nodes
+	if f.Node != 1 {
+		t.Fatalf("degenerate spare should pick the last node, got %d", f.Node)
+	}
+}
+
+func TestPowerLossCompound(t *testing.T) {
+	fs := PowerLoss([]int{3, 7})
+	if len(fs) != 4 {
+		t.Fatalf("faults = %d, want 4", len(fs))
+	}
+	rec := &recorder{}
+	for _, f := range fs {
+		f.Apply(rec)
+	}
+	if len(rec.killed) != 2 || len(rec.routers) != 2 {
+		t.Fatalf("killed=%v routers=%v", rec.killed, rec.routers)
+	}
+	if rec.killed[0] != 3 || rec.routers[1] != 7 {
+		t.Fatalf("victims wrong: %v %v", rec.killed, rec.routers)
+	}
+}
+
+func TestCableCutSelectsCrossingLinks(t *testing.T) {
+	topo := topology.NewMesh(4, 3)
+	fs := CableCut(topo, 1) // cut between columns 1 and 2
+	if len(fs) != 3 {
+		t.Fatalf("cut links = %d, want 3 (one per row)", len(fs))
+	}
+	for _, f := range fs {
+		link := topo.Links()[f.Link]
+		ax, _ := topo.MeshCoord(link.A)
+		bx, _ := topo.MeshCoord(link.B)
+		lo, hi := ax, bx
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != 1 || hi != 2 {
+			t.Fatalf("link %d does not cross the cut: columns %d-%d", f.Link, ax, bx)
+		}
+	}
+	if got := CableCut(topo, 3); len(got) != 0 {
+		t.Fatalf("cut beyond the last column should be empty, got %d", len(got))
+	}
+}

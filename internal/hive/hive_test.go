@@ -1,0 +1,411 @@
+package hive
+
+import (
+	"strings"
+	"testing"
+
+	"flashfc/internal/fault"
+	"flashfc/internal/machine"
+	"flashfc/internal/proc"
+	"flashfc/internal/sim"
+)
+
+// rig builds a Hive system: cells × nodesPerCell nodes, small memories.
+func rig(t *testing.T, cells, nodesPerCell int, seed int64) (*machine.Machine, *Hive) {
+	t.Helper()
+	mc := MachineConfig(cells, nodesPerCell, 256<<10, 16<<10, seed)
+	m := machine.New(mc)
+	h := New(m, DefaultConfig(cells))
+	return m, h
+}
+
+// runUntil drives the engine until cond or deadline; reports cond success.
+func runUntil(m *machine.Machine, deadline sim.Time, cond func() bool) bool {
+	for !cond() && m.E.Now() < deadline {
+		step := m.E.Now() + sim.Millisecond
+		if step > deadline {
+			step = deadline
+		}
+		m.E.RunUntil(step)
+	}
+	return cond()
+}
+
+func TestCellLayout(t *testing.T) {
+	_, h := rig(t, 4, 2, 1)
+	if len(h.Cells) != 4 {
+		t.Fatalf("cells = %d", len(h.Cells))
+	}
+	if got := h.Cells[2].Nodes; len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("cell 2 nodes = %v", got)
+	}
+	if h.CellOf(5) != h.Cells[2] || h.CellOf(0) != h.Cells[0] {
+		t.Fatal("CellOf broken")
+	}
+	if h.Cells[1].Boss() != 2 {
+		t.Fatalf("boss of cell 1 = %d", h.Cells[1].Boss())
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	m, h := rig(t, 4, 1, 2)
+	h.Cells[1].Handle("echo", func(from int, args any) (any, error) {
+		return args.(string) + "!", nil
+	})
+	var got any
+	var gerr error
+	h.Cells[0].Call(h.Cells[1], "echo", "hi", func(v any, err error) { got, gerr = v, err })
+	m.E.RunUntil(10 * sim.Millisecond)
+	if gerr != nil || got != "hi!" {
+		t.Fatalf("rpc: %v %v", got, gerr)
+	}
+}
+
+func TestRPCExactlyOnce(t *testing.T) {
+	m, h := rig(t, 4, 1, 3)
+	count := 0
+	h.Cells[1].Handle("inc", func(from int, args any) (any, error) {
+		count++
+		return count, nil
+	})
+	// Issue the call; a false alarm mid-flight forces retransmission
+	// paths through recovery. The handler must run exactly once.
+	var results []any
+	h.Cells[0].Call(h.Cells[1], "inc", nil, func(v any, err error) {
+		if err != nil {
+			t.Errorf("rpc failed: %v", err)
+		}
+		results = append(results, v)
+	})
+	m.FalseAlarm(2)
+	if !runUntil(m, 2*sim.Second, func() bool { return len(results) == 1 && m.Recovered() }) {
+		t.Fatalf("rpc did not complete: results=%v recovered=%v", results, m.Recovered())
+	}
+	// Drain any straggler retransmissions, then check the count.
+	m.E.RunUntil(m.E.Now() + 100*sim.Millisecond)
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want exactly once", count)
+	}
+}
+
+func TestRPCToDeadCellFails(t *testing.T) {
+	m, h := rig(t, 4, 1, 4)
+	h.Cells[2].Handle("noop", func(int, any) (any, error) { return nil, nil })
+	m.Inject(fault.Fault{Type: fault.NodeFailure, Node: 2})
+	var gerr error
+	done := false
+	h.Cells[0].Call(h.Cells[2], "noop", nil, func(v any, err error) { gerr = err; done = true })
+	if !runUntil(m, 3*sim.Second, func() bool { return done }) {
+		t.Fatal("rpc to dead cell never completed")
+	}
+	if gerr == nil {
+		t.Fatal("rpc to dead cell should fail")
+	}
+}
+
+func TestParallelMakeCleanRun(t *testing.T) {
+	m, h := rig(t, 4, 1, 5)
+	mk := NewMake(h, DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	if !runUntil(m, 5*sim.Second, func() bool { return idle }) {
+		for _, task := range mk.Tasks {
+			t.Logf("task %d: %v %s", task.FileID, task.State, task.FailWhy)
+		}
+		t.Fatal("make did not finish")
+	}
+	o := mk.Evaluate()
+	if !o.OK() || o.Completed != 3 {
+		t.Fatalf("clean run: %+v", o)
+	}
+}
+
+func TestParallelMakeClientCellDies(t *testing.T) {
+	m, h := rig(t, 4, 1, 6)
+	mk := NewMake(h, DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	// Kill cell 2's node mid-run.
+	m.InjectAt(fault.Fault{Type: fault.NodeFailure, Node: 2}, 500*sim.Microsecond)
+	if !runUntil(m, 10*sim.Second, func() bool { return idle && m.Recovered() }) {
+		for _, task := range mk.Tasks {
+			t.Logf("task %d: %v %s", task.FileID, task.State, task.FailWhy)
+		}
+		t.Fatalf("make did not finish (idle=%v recovered=%v)", idle, m.Recovered())
+	}
+	o := mk.Evaluate()
+	if !o.OK() {
+		t.Fatalf("unaffected compiles must succeed: %+v", o)
+	}
+	if o.Excused != 1 || o.Completed != 2 {
+		t.Fatalf("excused=%d completed=%d, want 1/2", o.Excused, o.Completed)
+	}
+	if h.Cells[2].Alive() {
+		t.Fatal("cell 2 should be dead")
+	}
+	if h.HWTime <= 0 || h.OSTime <= 0 {
+		t.Fatalf("recovery times not recorded: hw=%v os=%v", h.HWTime, h.OSTime)
+	}
+}
+
+func TestParallelMakeServerDies(t *testing.T) {
+	m, h := rig(t, 4, 1, 7)
+	mk := NewMake(h, DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	m.InjectAt(fault.Fault{Type: fault.NodeFailure, Node: 0}, 500*sim.Microsecond)
+	if !runUntil(m, 10*sim.Second, func() bool { return idle && m.Recovered() }) {
+		t.Fatalf("make did not finish (idle=%v recovered=%v)", idle, m.Recovered())
+	}
+	o := mk.Evaluate()
+	if !o.ServerDied {
+		t.Fatal("server should be dead")
+	}
+	if !o.OK() {
+		t.Fatalf("run with dead server should have no failures (all excused): %+v", o)
+	}
+}
+
+func TestParallelMakeInfiniteLoop(t *testing.T) {
+	m, h := rig(t, 4, 1, 8)
+	mk := NewMake(h, DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	m.InjectAt(fault.Fault{Type: fault.InfiniteLoop, Node: 3}, 300*sim.Microsecond)
+	if !runUntil(m, 10*sim.Second, func() bool { return idle && m.Recovered() }) {
+		for _, task := range mk.Tasks {
+			t.Logf("task %d: %v %s", task.FileID, task.State, task.FailWhy)
+		}
+		t.Fatalf("make did not finish (idle=%v recovered=%v)", idle, m.Recovered())
+	}
+	o := mk.Evaluate()
+	if !o.OK() {
+		t.Fatalf("unaffected compiles must succeed: %+v", o)
+	}
+}
+
+func TestLegacyBugCrashesCell(t *testing.T) {
+	// With the paper's OS bugs reenabled and a guaranteed crash
+	// probability, a run that leaves incoherent lines behind crashes a
+	// surviving cell and counts as a failed experiment (§5.2).
+	mc := MachineConfig(4, 1, 256<<10, 16<<10, 9)
+	m := machine.New(mc)
+	hcfg := DefaultConfig(4)
+	hcfg.LegacyIncoherentBug = true
+	hcfg.BugCrashProb = 1.0
+	h := New(m, hcfg)
+	mk := NewMake(h, DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	// Kill cell 3's node while it is pushing results into the server's
+	// page (exclusive remote lines -> incoherent at the server).
+	m.InjectAt(fault.Fault{Type: fault.NodeFailure, Node: 3}, 4500*sim.Microsecond)
+	if !runUntil(m, 10*sim.Second, func() bool { return idle && m.Recovered() }) {
+		t.Fatalf("make did not finish (idle=%v recovered=%v)", idle, m.Recovered())
+	}
+	o := mk.Evaluate()
+	if o.OK() {
+		t.Skip("fault timing did not leave incoherent lines behind; covered by Table 5.4 runs")
+	}
+	found := false
+	for _, f := range o.Failures {
+		if strings.Contains(f, "legacy bug") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failures should mention the legacy bug: %v", o.Failures)
+	}
+}
+
+func TestFirewallProtectsKernelFromSpeculativeWrites(t *testing.T) {
+	// §3.3: an incorrectly speculated write can pull an arbitrary line
+	// exclusive into a cache; if that node fails, the data is lost. The
+	// firewall prevents remote exclusive fetches of kernel pages, so the
+	// victim cell survives.
+	m, h := rig(t, 2, 1, 10)
+	kernelLine := h.Cells[0].kernel[0]
+	// Node 1 (cell 1) speculatively write-fetches cell 0's kernel line.
+	m.Nodes[1].CPU.Speculate(kernelLine)
+	m.E.RunUntil(m.E.Now() + 300*sim.Microsecond)
+	if m.Nodes[1].Cache.Lookup(kernelLine) != nil {
+		t.Fatal("firewall should have denied the speculative exclusive fetch")
+	}
+	if m.Nodes[0].Ctrl.Stats.FirewallDenied == 0 {
+		t.Fatal("firewall denial not counted")
+	}
+	// Cell 1 dies; cell 0's kernel data is intact and its heartbeat keeps
+	// running.
+	m.Inject(fault.Fault{Type: fault.NodeFailure, Node: 1})
+	m.Nodes[0].CPU.Submit(readOpFor(m, 1))
+	if !runUntil(m, 3*sim.Second, func() bool { return m.Recovered() }) {
+		t.Fatal("recovery did not complete")
+	}
+	m.E.RunUntil(m.E.Now() + 10*sim.Millisecond)
+	if crashed, why := h.Cells[0].Crashed(); crashed {
+		t.Fatalf("cell 0 crashed despite firewall: %s", why)
+	}
+}
+
+func TestWithoutFirewallSpeculativeWriteKillsOtherCell(t *testing.T) {
+	// The same scenario with the firewall disabled: the speculative
+	// fetch succeeds, the speculating node dies holding the only copy of
+	// the victim's kernel line, and the victim cell panics — one fault
+	// takes down two cells (§3.3's motivation for the firewall).
+	mc := MachineConfig(2, 1, 256<<10, 16<<10, 11)
+	mc.Magic.FirewallEnabled = false
+	m := machine.New(mc)
+	h := New(m, DefaultConfig(2))
+	kernelLine := h.Cells[0].kernel[0]
+	m.Nodes[1].CPU.Speculate(kernelLine)
+	// Check before cell 0's heartbeat recalls the line (first beat at
+	// 500 us), then kill the speculating node while it still holds it.
+	m.E.RunUntil(m.E.Now() + 300*sim.Microsecond)
+	if m.Nodes[1].Cache.Lookup(kernelLine) == nil {
+		t.Fatal("speculative fetch should have succeeded without the firewall")
+	}
+	m.Inject(fault.Fault{Type: fault.NodeFailure, Node: 1})
+	m.Nodes[0].CPU.Submit(readOpFor(m, 1))
+	if !runUntil(m, 3*sim.Second, func() bool { return m.Recovered() }) {
+		t.Fatal("recovery did not complete")
+	}
+	crashed := false
+	runUntil(m, m.E.Now()+100*sim.Millisecond, func() bool {
+		crashed, _ = h.Cells[0].Crashed()
+		return crashed
+	})
+	if !crashed {
+		t.Fatal("cell 0 should have panicked on its lost kernel line")
+	}
+}
+
+func TestHeartbeatDetectsKernelLoss(t *testing.T) {
+	m, h := rig(t, 2, 2, 12)
+	// Simulate kernel data loss directly: mark a kernel line incoherent.
+	kernelLine := h.Cells[1].kernel[0]
+	boss := h.Cells[1].Boss()
+	m.Nodes[boss].Cache.Invalidate(kernelLine)
+	e := m.Nodes[boss].Dir.Get(kernelLine)
+	e.State = 5 // coherence.DirIncoherent
+	crashed := false
+	if !runUntil(m, sim.Second, func() bool { crashed, _ = h.Cells[1].Crashed(); return crashed }) {
+		t.Fatal("heartbeat did not detect kernel data loss")
+	}
+}
+
+// readOpFor builds a read of node target's memory, used to detect failures.
+func readOpFor(m *machine.Machine, target int) proc.Op {
+	return proc.Op{Kind: proc.OpRead, Addr: m.Space.Base(target) + 0x80}
+}
+
+func TestMultiNodeCellsSurviveAndDoom(t *testing.T) {
+	// 2 cells x 2 nodes: a node failure dooms the whole 2-node cell
+	// (failure unit), and the other cell — including its second node —
+	// keeps working.
+	m, h := rig(t, 2, 2, 20)
+	mk := NewMake(h, DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	// Kill node 3 (second node of cell 1).
+	m.InjectAt(fault.Fault{Type: fault.NodeFailure, Node: 3}, 400*sim.Microsecond)
+	if !runUntil(m, 20*sim.Second, func() bool { return idle && m.Recovered() && h.OSTime > 0 }) {
+		t.Fatalf("did not finish: idle=%v recovered=%v", idle, m.Recovered())
+	}
+	if h.Cells[1].Alive() {
+		t.Fatal("cell 1 should be dead with its failure unit")
+	}
+	if !h.Cells[0].Alive() {
+		t.Fatal("cell 0 should survive")
+	}
+	// Node 2 (cell 1's boss, hardware still alive) must have shut down.
+	if r := m.Reports()[2]; r == nil || !r.ShutDown {
+		t.Fatalf("cell 1's surviving node should have shut down with its unit: %+v", r)
+	}
+	o := mk.Evaluate()
+	if !o.OK() || o.Excused != 1 {
+		t.Fatalf("outcome: %+v", o)
+	}
+}
+
+func TestRPCConcurrentCallsKeepOrderIndependence(t *testing.T) {
+	m, h := rig(t, 4, 1, 21)
+	sum := 0
+	h.Cells[2].Handle("add", func(from int, args any) (any, error) {
+		sum += args.(int)
+		return sum, nil
+	})
+	done := 0
+	for i := 1; i <= 5; i++ {
+		h.Cells[0].Call(h.Cells[2], "add", i, func(v any, err error) {
+			if err != nil {
+				t.Errorf("call failed: %v", err)
+			}
+			done++
+		})
+	}
+	if !runUntil(m, sim.Second, func() bool { return done == 5 }) {
+		t.Fatalf("calls completed: %d", done)
+	}
+	if sum != 15 {
+		t.Fatalf("sum = %d, want 15", sum)
+	}
+}
+
+func TestRPCSurvivesRouterFailureElsewhere(t *testing.T) {
+	// A router failure on a third cell must not break RPC between two
+	// healthy cells: retransmission rides out the recovery window.
+	m, h := rig(t, 4, 1, 30)
+	h.Cells[1].Handle("ping", func(int, any) (any, error) { return "pong", nil })
+	var got any
+	done := false
+	m.InjectAt(fault.Fault{Type: fault.RouterFailure, Router: 3}, 200*sim.Microsecond)
+	m.E.At(250*sim.Microsecond, func() {
+		h.Cells[0].Call(h.Cells[1], "ping", nil, func(v any, err error) {
+			if err != nil {
+				t.Errorf("rpc failed: %v", err)
+			}
+			got = v
+			done = true
+		})
+	})
+	if !runUntil(m, 10*sim.Second, func() bool { return done && m.Recovered() }) {
+		t.Fatalf("rpc/recovery incomplete: done=%v recovered=%v", done, m.Recovered())
+	}
+	if got != "pong" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEvaluateDetectsArtifactMismatch(t *testing.T) {
+	m, h := rig(t, 2, 1, 31)
+	mk := NewMake(h, DefaultMakeConfig())
+	idle := false
+	mk.Start(func() { idle = true })
+	if !runUntil(m, 5*sim.Second, func() bool { return idle }) {
+		t.Fatal("make did not finish")
+	}
+	// Corrupt the recorded artifact: Evaluate must flag it.
+	mk.submitted[0] ^= 0xdead
+	o := mk.Evaluate()
+	if o.OK() {
+		t.Fatal("corrupted artifact should fail evaluation")
+	}
+}
+
+func TestCellStringAndStates(t *testing.T) {
+	m, h := rig(t, 2, 1, 32)
+	if h.Cells[0].String() == "" {
+		t.Fatal("empty cell string")
+	}
+	if crashed, _ := h.Cells[0].Crashed(); crashed {
+		t.Fatal("fresh cell crashed?")
+	}
+	h.Cells[1].panic("test crash")
+	if h.Cells[1].Alive() {
+		t.Fatal("crashed cell still alive")
+	}
+	if crashed, why := h.Cells[1].Crashed(); !crashed || why != "test crash" {
+		t.Fatalf("crash state: %v %q", crashed, why)
+	}
+	_ = m
+}

@@ -1,0 +1,581 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"flashfc/internal/sim"
+	"flashfc/internal/timing"
+	"flashfc/internal/topology"
+)
+
+// Config tunes the fabric model.
+type Config struct {
+	// Reliable enables HAL-style hardware end-to-end reliability (§6.3):
+	// normal-lane packets destroyed by a failure are held by the fabric
+	// and retransmitted once RetransmitLost is called after connectivity
+	// is restored. Recovery lanes are never retransmitted (the recovery
+	// algorithm has its own timeouts and retries).
+	Reliable bool
+	// LaneBuffer is the per-channel, per-lane buffer capacity in packets.
+	LaneBuffer int
+	// RecoveryHeadDrop is how long a source-routed recovery packet may
+	// stay blocked at the head of a channel before it is discarded, the
+	// §4.1 mechanism that keeps the recovery lanes from congesting.
+	RecoveryHeadDrop sim.Time
+	// LoopbackDelay is the delivery delay for node-to-self packets.
+	LoopbackDelay sim.Time
+}
+
+// DefaultConfig returns the standard fabric parameters.
+func DefaultConfig() Config {
+	return Config{
+		LaneBuffer:       4,
+		RecoveryHeadDrop: 10 * sim.Microsecond,
+		LoopbackDelay:    60,
+	}
+}
+
+// channel is one directed (router, port, lane) buffer: the sending side of a
+// virtual channel. Packets at the head either advance into the next router's
+// chosen channel (or node) or block there, exerting backpressure.
+type channel struct {
+	router, port int
+	lane         Lane
+	q            []*Packet
+	serving      bool
+	blocked      bool
+	blockedAt    sim.Time
+	waiters      []*channel // channels blocked waiting for space here
+}
+
+// routerState is the mutable state of one SPIDER router.
+type routerState struct {
+	failed bool
+	// discard[port] makes the router silently drop packets routed to
+	// that port: the interconnect-recovery isolation step (§4.4).
+	discard []bool
+	// discardLocal makes the router drop packets destined to its own
+	// attached node: the isolation step for a node whose controller has
+	// stopped accepting packets (firmware infinite loop, §3.1).
+	discardLocal bool
+	// table is this router's next-hop port per destination.
+	table []int
+	// chans[port][lane]
+	chans [][]*channel
+	// nodeWaiters are channels blocked delivering to this router's node.
+	nodeWaiters []*channel
+}
+
+// Stats counts fabric-level events of interest to the experiments.
+type Stats struct {
+	Injected           uint64
+	Delivered          uint64
+	DeliveredTrunc     uint64
+	DroppedLink        uint64 // black-holed by a failed link
+	DroppedRouter      uint64 // sunk by a failed router
+	DroppedNoRoute     uint64
+	DroppedIsolation   uint64 // discarded by the isolation step
+	DroppedHeadTimeout uint64 // recovery-lane head drop
+	DroppedDeadNode    uint64 // delivered to a failed node controller
+}
+
+// Network is the whole fabric.
+type Network struct {
+	E    *sim.Engine
+	Topo *topology.Topology
+	cfg  Config
+
+	routers   []*routerState
+	linkUp    []bool
+	endpoints []Endpoint
+	// inTransit[link] is the set of packets currently being serviced
+	// across the link, used to truncate in-flight packets on link failure.
+	inTransit map[int]map[*Packet]int // link -> pkt -> target router
+	Stats     Stats
+
+	// OnLost, if set, observes every packet whose content is destroyed
+	// by the fabric: drops of any kind and in-flight truncations. The
+	// machine-level verification oracle uses it to know which lines may
+	// legitimately have become incoherent.
+	OnLost func(p *Packet)
+	// retained holds packets awaiting end-to-end retransmission in
+	// reliable mode.
+	retained []*Packet
+}
+
+func (n *Network) lost(p *Packet) {
+	if n.cfg.Reliable && !p.Lane.IsRecovery() && !p.retried {
+		// HAL-style end-to-end reliability: the sender's hardware holds
+		// a copy and will resend once connectivity is restored (§6.3).
+		n.retained = append(n.retained, p)
+		return
+	}
+	if n.OnLost != nil {
+		n.OnLost(p)
+	}
+}
+
+// RetainedLost reports how many packets await retransmission.
+func (n *Network) RetainedLost() int { return len(n.retained) }
+
+// RetransmitLost resends every retained packet whose destination is still
+// reachable (per the supplied node map); the rest are reported through
+// OnLost as real losses. It returns the number resent. Called once after
+// interconnect recovery has restored connectivity (§6.3).
+func (n *Network) RetransmitLost(nodeUp func(int) bool) int {
+	pkts := n.retained
+	n.retained = nil
+	sent := 0
+	for _, p := range pkts {
+		fresh := &Packet{
+			Src: p.Src, Dst: p.Dst, Lane: p.Lane,
+			Payload: p.Payload, Bytes: p.Bytes, retried: true,
+		}
+		if nodeUp == nil || !nodeUp(p.Dst) {
+			n.lost(fresh) // destination died with the fault: a real loss
+			continue
+		}
+		sent++
+		n.Send(fresh)
+	}
+	return sent
+}
+
+// New builds a fabric over topo with the topology's default deadlock-free
+// routing tables installed in every router.
+func New(e *sim.Engine, topo *topology.Topology, cfg Config) *Network {
+	n := &Network{
+		E:         e,
+		Topo:      topo,
+		cfg:       cfg,
+		routers:   make([]*routerState, topo.Routers()),
+		linkUp:    make([]bool, len(topo.Links())),
+		endpoints: make([]Endpoint, topo.Routers()),
+		inTransit: make(map[int]map[*Packet]int),
+	}
+	for i := range n.linkUp {
+		n.linkUp[i] = true
+	}
+	tables := topology.DefaultTables(topo)
+	for r := range n.routers {
+		deg := topo.Degree(r)
+		rs := &routerState{
+			discard: make([]bool, deg),
+			table:   tables[r],
+			chans:   make([][]*channel, deg),
+		}
+		for p := 0; p < deg; p++ {
+			rs.chans[p] = make([]*channel, NumLanes)
+			for l := Lane(0); l < NumLanes; l++ {
+				rs.chans[p][l] = &channel{router: r, port: p, lane: l}
+			}
+		}
+		n.routers[r] = rs
+	}
+	return n
+}
+
+// SetEndpoint attaches the node controller for node id.
+func (n *Network) SetEndpoint(id int, ep Endpoint) { n.endpoints[id] = ep }
+
+// RouterAlive reports whether router r is functioning.
+func (n *Network) RouterAlive(r int) bool { return !n.routers[r].failed }
+
+// LinkAlive reports whether link l is functioning.
+func (n *Network) LinkAlive(l int) bool { return n.linkUp[l] }
+
+// SetRouterTable installs a new next-hop row on router r (one destination
+// entry per node). Used by interconnect recovery after the drain (§4.4).
+func (n *Network) SetRouterTable(r int, row []int) {
+	n.routers[r].table = append([]int(nil), row...)
+}
+
+// SetDiscard reprograms router r to discard (or stop discarding) traffic
+// routed through port p — the isolation step of interconnect recovery. Any
+// packets already queued toward that port are dropped, which is what lets
+// stalled traffic behind them make forward progress (§4.4).
+func (n *Network) SetDiscard(r, p int, on bool) {
+	rs := n.routers[r]
+	rs.discard[p] = on
+	if !on {
+		return
+	}
+	for l := Lane(0); l < NumLanes; l++ {
+		ch := rs.chans[p][l]
+		dropped := len(ch.q)
+		if ch.serving {
+			// The head packet is mid-flight; let it finish (it will
+			// be re-checked on arrival). Drop the rest.
+			if dropped > 1 {
+				for _, pk := range ch.q[1:] {
+					n.lost(pk)
+				}
+				ch.q = ch.q[:1]
+				n.Stats.DroppedIsolation += uint64(dropped - 1)
+			}
+		} else {
+			for _, pk := range ch.q {
+				n.lost(pk)
+			}
+			ch.q = ch.q[:0]
+			ch.blocked = false
+			n.Stats.DroppedIsolation += uint64(dropped)
+		}
+		n.wakeWaiters(ch)
+	}
+}
+
+// SetDiscardLocal reprograms router r to drop packets destined to its own
+// node. Deliveries currently blocked on the node are retried and dropped,
+// which unclogs the fabric behind a controller stuck in an infinite loop.
+func (n *Network) SetDiscardLocal(r int, on bool) {
+	n.routers[r].discardLocal = on
+	if on {
+		n.wakeNodeWaiters(r)
+	}
+}
+
+// FailRouter kills router r: its queued packets are lost and it sinks all
+// future traffic (§4.1: a router failure is the failure of the router; we do
+// not also fail its links here — callers model a cabinet loss as explicit
+// combinations of router and link failures).
+func (n *Network) FailRouter(r int) {
+	rs := n.routers[r]
+	if rs.failed {
+		return
+	}
+	rs.failed = true
+	for p := range rs.chans {
+		for _, ch := range rs.chans[p] {
+			n.Stats.DroppedRouter += uint64(len(ch.q))
+			for _, pk := range ch.q {
+				n.lost(pk)
+			}
+			ch.q = ch.q[:0]
+			ch.blocked = false
+			n.wakeWaiters(ch)
+		}
+	}
+	// Channels blocked delivering into this node will retry, find the
+	// router failed, and sink their packets.
+	n.wakeNodeWaiters(r)
+}
+
+// FailLink kills link l. A packet currently being serviced across the link
+// is truncated and continues to its destination (§3.1); everything else that
+// later tries to traverse the link is silently sunk ("black hole", §4.1).
+func (n *Network) FailLink(l int) {
+	if !n.linkUp[l] {
+		return
+	}
+	n.linkUp[l] = false
+	for pkt := range n.inTransit[l] {
+		pkt.Truncated = true
+		n.lost(pkt)
+	}
+}
+
+// InFlight reports the number of packets anywhere in the fabric, for tests
+// and drain instrumentation.
+func (n *Network) InFlight() int {
+	c := 0
+	for _, rs := range n.routers {
+		for _, ports := range rs.chans {
+			for _, ch := range ports {
+				c += len(ch.q)
+			}
+		}
+	}
+	return c
+}
+
+// Send injects p at its source router. Injection always succeeds: the MAGIC
+// outbox is modeled as elastic, so congestion manifests downstream in the
+// fabric rather than at the injection point.
+func (n *Network) Send(p *Packet) {
+	n.Stats.Injected++
+	p.Injected = n.E.Now()
+	if p.SourceRoute != nil {
+		if len(p.SourceRoute) == 0 || p.SourceRoute[0] != p.Src {
+			panic(fmt.Sprintf("interconnect: bad source route %v from %d", p.SourceRoute, p.Src))
+		}
+		p.hop = 0
+	}
+	if p.Dst == p.Src && (p.SourceRoute == nil || len(p.SourceRoute) == 1) {
+		n.E.After(n.cfg.LoopbackDelay, func() { n.deliver(p) })
+		return
+	}
+	rs := n.routers[p.Src]
+	if rs.failed {
+		n.Stats.DroppedRouter++
+		n.lost(p)
+		return
+	}
+	port, ok := n.nextPort(p.Src, p)
+	if !ok {
+		return // counted by nextPort
+	}
+	ch := rs.chans[port][p.Lane]
+	ch.q = append(ch.q, p) // elastic injection
+	n.kick(ch)
+}
+
+// nextPort picks the output port at router r for packet p, applying source
+// routes, tables, discard configuration and dead-end accounting. ok=false
+// means the packet was dropped.
+func (n *Network) nextPort(r int, p *Packet) (port int, ok bool) {
+	if p.SourceRoute != nil {
+		if p.hop+1 >= len(p.SourceRoute) {
+			n.Stats.DroppedNoRoute++
+			n.lost(p)
+			return 0, false
+		}
+		next := p.SourceRoute[p.hop+1]
+		port = n.Topo.PortTo(r, next)
+		if port < 0 {
+			n.Stats.DroppedNoRoute++
+			n.lost(p)
+			return 0, false
+		}
+	} else {
+		port = n.routers[r].table[p.Dst]
+		if port < 0 {
+			n.Stats.DroppedNoRoute++
+			n.lost(p)
+			return 0, false
+		}
+	}
+	if n.routers[r].discard[port] {
+		n.Stats.DroppedIsolation++
+		n.lost(p)
+		return 0, false
+	}
+	return port, true
+}
+
+// kick starts servicing the head of ch if idle.
+func (n *Network) kick(ch *channel) {
+	if ch.serving || ch.blocked || len(ch.q) == 0 {
+		return
+	}
+	if n.routers[ch.router].failed {
+		return
+	}
+	pkt := ch.q[0]
+	link := n.Topo.Adjacency(ch.router)[ch.port].Link
+	if !n.linkUp[link] {
+		// Black hole: sink the head packet and try the next.
+		n.lost(pkt)
+		ch.q = ch.q[1:]
+		n.Stats.DroppedLink++
+		n.wakeWaiters(ch)
+		n.kick(ch)
+		return
+	}
+	ch.serving = true
+	if n.inTransit[link] == nil {
+		n.inTransit[link] = make(map[*Packet]int)
+	}
+	n.inTransit[link][pkt] = n.Topo.Adjacency(ch.router)[ch.port].To
+	n.E.After(serviceTime(pkt), func() { n.arrive(ch, pkt, link) })
+}
+
+// arrive is called when pkt finishes traversing ch's link. The packet is
+// logically at the far router's input; it advances into that router's chosen
+// output channel (or node) or blocks, keeping its slot in ch.
+func (n *Network) arrive(ch *channel, pkt *Packet, link int) {
+	ch.serving = false
+	delete(n.inTransit[link], pkt)
+	if n.routers[ch.router].failed || len(ch.q) == 0 || ch.q[0] != pkt {
+		// The source router failed mid-service and already destroyed
+		// this packet (and counted it); nothing left to advance.
+		return
+	}
+	if !n.linkUp[link] && !pkt.Truncated {
+		// The link died before service completed and the packet was
+		// not marked as the in-flight victim; sink it.
+		n.lost(pkt)
+		n.popHead(ch)
+		n.Stats.DroppedLink++
+		return
+	}
+	n.advance(ch, pkt)
+}
+
+// advance tries to move pkt (at the head of ch, already across ch's link)
+// into the far router. Called initially from arrive and again from wakeups.
+func (n *Network) advance(ch *channel, pkt *Packet) {
+	r := n.Topo.Adjacency(ch.router)[ch.port].To
+	if n.routers[r].failed {
+		n.lost(pkt)
+		n.popHead(ch)
+		n.Stats.DroppedRouter++
+		return
+	}
+	if pkt.SourceRoute != nil {
+		if pkt.hop+1 >= len(pkt.SourceRoute) || pkt.SourceRoute[pkt.hop+1] != r {
+			n.lost(pkt)
+			n.popHead(ch)
+			n.Stats.DroppedNoRoute++
+			return
+		}
+	}
+	atDst := pkt.Dst == r
+	if pkt.SourceRoute != nil {
+		atDst = pkt.hop+2 == len(pkt.SourceRoute) && atDst
+	}
+	if atDst {
+		if n.routers[r].discardLocal {
+			n.lost(pkt)
+			n.popHead(ch)
+			n.Stats.DroppedDeadNode++
+			return
+		}
+		if n.endpoints[r] == nil || n.endpoints[r].Accept(pkt) {
+			if pkt.SourceRoute != nil {
+				pkt.hop++
+			}
+			n.popHead(ch)
+			n.Stats.Delivered++
+			if pkt.Truncated {
+				n.Stats.DeliveredTrunc++
+			}
+			return
+		}
+		n.block(ch, pkt)
+		n.routers[r].nodeWaiters = append(n.routers[r].nodeWaiters, ch)
+		return
+	}
+	// Forward through r.
+	if pkt.SourceRoute != nil {
+		pkt.hop++
+	}
+	port, ok := n.nextPort(r, pkt)
+	if !ok {
+		if pkt.SourceRoute != nil {
+			pkt.hop-- // undo; packet is gone anyway
+		}
+		n.popHead(ch)
+		return
+	}
+	tch := n.routers[r].chans[port][pkt.Lane]
+	if len(tch.q) < n.cfg.LaneBuffer {
+		n.popHead(ch)
+		tch.q = append(tch.q, pkt)
+		n.kick(tch)
+		return
+	}
+	if pkt.SourceRoute != nil {
+		pkt.hop-- // not moved yet
+	}
+	n.block(ch, pkt)
+	tch.waiters = append(tch.waiters, ch)
+}
+
+// block marks ch blocked on its head packet and, for recovery lanes, arms
+// the head-drop timeout.
+func (n *Network) block(ch *channel, pkt *Packet) {
+	ch.blocked = true
+	ch.blockedAt = n.E.Now()
+	if pkt.Lane.IsRecovery() {
+		n.E.After(n.cfg.RecoveryHeadDrop, func() {
+			if ch.blocked && len(ch.q) > 0 && ch.q[0] == pkt {
+				n.lost(pkt)
+				n.popHead(ch)
+				n.Stats.DroppedHeadTimeout++
+			}
+		})
+	}
+}
+
+// popHead removes ch's head packet, wakes anything waiting for space in ch,
+// and restarts service on ch.
+func (n *Network) popHead(ch *channel) {
+	ch.q = ch.q[1:]
+	ch.blocked = false
+	n.wakeWaiters(ch)
+	n.kick(ch)
+}
+
+// wakeWaiters retries channels blocked on space in ch.
+func (n *Network) wakeWaiters(ch *channel) {
+	ws := ch.waiters
+	ch.waiters = nil
+	for _, w := range ws {
+		if w.blocked && len(w.q) > 0 {
+			w.blocked = false
+			n.advance(w, w.q[0])
+		}
+	}
+}
+
+// wakeNodeWaiters retries channels blocked delivering into node r's
+// controller.
+func (n *Network) wakeNodeWaiters(r int) {
+	rs := n.routers[r]
+	ws := rs.nodeWaiters
+	rs.nodeWaiters = nil
+	for _, w := range ws {
+		if w.blocked && len(w.q) > 0 {
+			w.blocked = false
+			n.advance(w, w.q[0])
+		}
+	}
+}
+
+// NodeReady signals that node id's controller can accept input again;
+// deliveries blocked on it are retried.
+func (n *Network) NodeReady(id int) { n.wakeNodeWaiters(id) }
+
+// deliver hands a loopback packet to the local endpoint. A refusing
+// controller (full input queue, or wedged in an infinite loop) is retried
+// with a microsecond backoff; once recovery isolates the node by setting
+// the local-delivery discard, the packet is dropped like any other traffic
+// bound for the dead controller.
+func (n *Network) deliver(p *Packet) {
+	ep := n.endpoints[p.Dst]
+	if ep == nil {
+		return
+	}
+	if n.routers[p.Dst].discardLocal {
+		n.Stats.DroppedDeadNode++
+		n.lost(p)
+		return
+	}
+	if !ep.Accept(p) {
+		backoff := n.cfg.LoopbackDelay
+		if backoff < sim.Microsecond {
+			backoff = sim.Microsecond
+		}
+		n.E.After(backoff, func() { n.deliver(p) })
+		return
+	}
+	n.Stats.Delivered++
+}
+
+// ProbeRouter models the §4.2 router interrogation used while determining
+// the closest working neighbors: a source-routed probe is sent along path
+// (router ids, starting at the prober's router), and the final router
+// answers if it and every traversed element are alive. The response arrives
+// after the round-trip time; if anything on the path is dead there is no
+// response and the caller's timeout fires instead. Path state is evaluated
+// when the probe would traverse it, i.e. at call time.
+func (n *Network) ProbeRouter(path []int, cb func()) {
+	if len(path) == 0 {
+		return
+	}
+	rtt := sim.Time(0)
+	for i := 0; i < len(path); i++ {
+		if n.routers[path[i]].failed {
+			return
+		}
+		if i > 0 {
+			p := n.Topo.PortTo(path[i-1], path[i])
+			if p < 0 || !n.linkUp[n.Topo.Adjacency(path[i-1])[p].Link] {
+				return
+			}
+			rtt += 2 * (timing.RouterHop + timing.LinkWire + 16*timing.LinkBytePeriod)
+		}
+	}
+	n.E.After(rtt+2*timing.RouterHop, cb)
+}

@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/fault"
+	"flashfc/internal/magic"
+	"flashfc/internal/proc"
+	"flashfc/internal/sim"
+)
+
+// Containment fuzzer: random primary faults at random times under a random
+// workload, sometimes followed by a second fault mid-recovery. Every run
+// must converge and pass the full §5.2 verification contract. This is the
+// generalization of the directed fault tests; any failing seed here is a
+// real protocol or recovery bug.
+
+func fuzzScenario(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := smallConfig(seed)
+	cfg.Nodes = []int{8, 12, 16}[rng.Intn(3)]
+	m := New(cfg)
+
+	// Background workload: random reads/writes with per-line writers.
+	totalLines := int(uint64(cfg.Nodes) * cfg.MemBytes / 128)
+	stop := false
+	var issue func(node int)
+	issue = func(node int) {
+		if stop {
+			return
+		}
+		line := rng.Intn(totalLines)
+		addr := coherence.Addr(line * 128)
+		if line%cfg.Nodes == node && rng.Intn(2) == 0 {
+			tok := m.Oracle.NextToken()
+			m.Nodes[node].CPU.Submit(proc.Op{Kind: proc.OpWrite, Addr: addr, Token: tok,
+				Done: func(r magic.Result) {
+					if r.Err == nil {
+						m.Oracle.Wrote(addr, tok)
+					}
+					issue(node)
+				}})
+			return
+		}
+		m.Nodes[node].CPU.Submit(proc.Op{Kind: proc.OpRead, Addr: addr,
+			Done: func(magic.Result) { issue(node) }})
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		issue(n)
+		issue(n)
+	}
+
+	// Primary fault: any class except false alarm half the time.
+	types := []fault.Type{fault.NodeFailure, fault.RouterFailure,
+		fault.LinkFailure, fault.InfiniteLoop, fault.FalseAlarm}
+	f1 := fault.Random(rng, types[rng.Intn(len(types))], m.Topo, 1)
+	at1 := sim.Time(100+rng.Intn(3000)) * sim.Microsecond
+	m.InjectAt(f1, at1)
+
+	// Optional second fault striking mid-recovery.
+	twoFaults := rng.Intn(3) == 0
+	var f2 fault.Fault
+	if twoFaults {
+		f2 = fault.Random(rng, types[rng.Intn(4)], m.Topo, 1)
+		m.InjectAt(f2, at1+sim.Time(500+rng.Intn(4000))*sim.Microsecond)
+	}
+
+	if !m.RunUntilRecovered(20 * sim.Second) {
+		t.Fatalf("seed %d: recovery incomplete (f1=%v f2=%v two=%v)", seed, f1, f2, twoFaults)
+	}
+	stop = true
+	// Let outstanding workload settle, then verify from a survivor.
+	m.E.RunUntil(m.E.Now() + 50*sim.Millisecond)
+	survivors := m.Survivors()
+	if len(survivors) == 0 {
+		t.Fatalf("seed %d: no survivors", seed)
+	}
+	reader := survivors[0]
+	if rep := m.Reports()[reader]; rep != nil && (rep.ShutDown || rep.Isolated) {
+		return // reader side shut down (e.g. doomed unit); nothing to verify
+	}
+	res := m.VerifyMemory(reader, 2)
+	if !res.OK() {
+		for _, a := range res.WrongData {
+			home := m.Space.Home(a)
+			t.Logf("WRONG %v home=%d expected=%x mem=%x mayBeLost=%v",
+				a, home, m.Oracle.ExpectedToken(a), m.Nodes[home].Mem.Read(a), m.Oracle.MayBeLost(a))
+			if e := m.Nodes[home].Dir.Lookup(a); e != nil {
+				t.Logf("  dir=%v owner=%d", e.State, e.Owner)
+			}
+			for _, n := range m.Nodes {
+				if l := n.Cache.Lookup(a); l != nil {
+					t.Logf("  cached at %d: %+v", n.ID, l)
+				}
+			}
+		}
+		t.Fatalf("seed %d: verification failed: %v (f1=%v f2=%v)", seed, res, f1, f2)
+	}
+}
+
+func TestFuzzContainment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing skipped in -short mode")
+	}
+	for seed := int64(100); seed < 140; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) { fuzzScenario(t, seed) })
+	}
+}

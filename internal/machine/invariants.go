@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"fmt"
+
+	"flashfc/internal/coherence"
+)
+
+// CheckCoherenceInvariants validates the global coherence state at a
+// quiescent point (no operations in flight) and returns a description of
+// every violation found:
+//
+//   - an exclusive line is resident in exactly its owner's cache;
+//   - every resident copy of a shared line matches the home memory, and
+//     its holder is recorded in the sharer list (silent evictions make the
+//     recorded list a superset, never a subset);
+//   - no line is resident in any cache without a directory entry naming
+//     that cache;
+//   - no directory entry is stuck in a transient (locked) state.
+//
+// Tests call this after workloads and after recovery; it is the
+// protocol-level ground truth the §5.2 experiments rely on.
+func (m *Machine) CheckCoherenceInvariants() []string {
+	var bad []string
+	// Forward sweep: directory entries against caches.
+	for _, home := range m.Nodes {
+		home.Dir.ForEach(func(a coherence.Addr, e *coherence.DirEntry) {
+			switch e.State {
+			case coherence.DirExclusive:
+				owner := m.Nodes[e.Owner]
+				l := owner.Cache.Lookup(a)
+				if l == nil {
+					bad = append(bad, fmt.Sprintf("%v: exclusive at %d but not resident", a, e.Owner))
+				} else if l.State != coherence.CacheExclusive {
+					bad = append(bad, fmt.Sprintf("%v: owner %d holds it non-exclusive", a, e.Owner))
+				}
+				for _, n := range m.Nodes {
+					if n.ID != e.Owner && n.Cache.Lookup(a) != nil {
+						bad = append(bad, fmt.Sprintf("%v: second copy at %d beside owner %d", a, n.ID, e.Owner))
+					}
+				}
+			case coherence.DirShared:
+				memTok := home.Mem.Read(a)
+				for _, n := range m.Nodes {
+					l := n.Cache.Lookup(a)
+					if l == nil {
+						continue
+					}
+					if !e.Sharers.Has(n.ID) {
+						bad = append(bad, fmt.Sprintf("%v: unrecorded sharer %d", a, n.ID))
+					}
+					if l.State != coherence.CacheShared {
+						bad = append(bad, fmt.Sprintf("%v: sharer %d holds it exclusive", a, n.ID))
+					}
+					if l.Token != memTok {
+						bad = append(bad, fmt.Sprintf("%v: sharer %d token %x != memory %x", a, n.ID, l.Token, memTok))
+					}
+				}
+			case coherence.DirPendingRecall, coherence.DirPendingInval:
+				bad = append(bad, fmt.Sprintf("%v: stuck in %v at quiescence", a, e.State))
+			}
+		})
+	}
+	// Reverse sweep: cached lines must be known to their homes.
+	for _, n := range m.Nodes {
+		n.Cache.ForEach(func(a coherence.Addr, l *coherence.CacheLine) {
+			home := m.Nodes[m.Space.Home(a)]
+			e := home.Dir.Lookup(a)
+			if e == nil {
+				bad = append(bad, fmt.Sprintf("%v: resident at %d with no directory entry", a, n.ID))
+				return
+			}
+			switch e.State {
+			case coherence.DirExclusive:
+				if e.Owner != n.ID {
+					bad = append(bad, fmt.Sprintf("%v: resident at %d but owned by %d", a, n.ID, e.Owner))
+				}
+			case coherence.DirShared:
+				if !e.Sharers.Has(n.ID) {
+					bad = append(bad, fmt.Sprintf("%v: resident at %d but not a recorded sharer", a, n.ID))
+				}
+			case coherence.DirIncoherent:
+				bad = append(bad, fmt.Sprintf("%v: resident at %d while marked incoherent", a, n.ID))
+			}
+		})
+	}
+	return bad
+}

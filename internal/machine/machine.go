@@ -1,0 +1,469 @@
+// Package machine assembles a complete simulated FLASH system — topology,
+// interconnect, per-node memory/cache/directory, MAGIC controllers,
+// processors, and recovery agents — and provides the experiment harness:
+// fault injection (implementing fault.Target), a ground-truth oracle that
+// knows which lines may legitimately have been lost, whole-memory
+// verification (the §5.2 validation check), and per-phase recovery-time
+// aggregation for the scalability figures.
+package machine
+
+import (
+	"fmt"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/core"
+	"flashfc/internal/fault"
+	"flashfc/internal/interconnect"
+	"flashfc/internal/magic"
+	"flashfc/internal/proc"
+	"flashfc/internal/sim"
+	"flashfc/internal/topology"
+	"flashfc/internal/trace"
+)
+
+// TopoKind selects the interconnect shape.
+type TopoKind int
+
+const (
+	// TopoMesh is the 2-D mesh the paper's experiments assume.
+	TopoMesh TopoKind = iota
+	// TopoHypercube approximates FLASH's fat-hypercube for the Fig 5.5
+	// dissemination-scaling comparison.
+	TopoHypercube
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	Nodes    int
+	Topo     TopoKind
+	MemBytes uint64 // main memory per node (Table 5.1: 1–16 MB)
+	L2Bytes  uint64 // second-level cache (Table 5.1: 1 MB)
+	Seed     int64
+	// CPUWindow is the number of outstanding misses per processor.
+	CPUWindow int
+	// VectorTop enables the exception-vector remap below this address.
+	VectorTop coherence.Addr
+	// ReliableInterconnect builds the §6.3 HAL-style machine: hardware
+	// end-to-end reliable coherence delivery and flush-free recovery.
+	ReliableInterconnect bool
+	// FailureUnits maps node → failure unit (nil: one unit per node).
+	FailureUnits []int
+	// Trace, when non-nil, collects a machine-wide event timeline:
+	// injections, triggers, per-node phase transitions, completions.
+	Trace *trace.Tracer
+	// Magic carries controller options (firewall, protocol-memory range).
+	Magic magic.Config
+	// Recovery carries recovery-algorithm options; machine wiring
+	// overwrites the callbacks and charge sizes.
+	Recovery core.Config
+}
+
+// DefaultConfig returns a Table 5.1-style machine: mesh topology, 1 MB of
+// memory per node, 1 MB L2.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:     nodes,
+		Topo:      TopoMesh,
+		MemBytes:  1 << 20,
+		L2Bytes:   1 << 20,
+		Seed:      1,
+		CPUWindow: 4,
+		Magic:     magic.DefaultConfig(),
+		Recovery:  core.DefaultConfig(1<<20, 1<<20),
+	}
+}
+
+// Node bundles one node's components.
+type Node struct {
+	ID    int
+	Mem   *coherence.Memory
+	Dir   *coherence.Directory
+	Cache *coherence.Cache
+	Ctrl  *magic.Controller
+	CPU   *proc.CPU
+	Agent *core.Agent
+}
+
+// Machine is a complete simulated system.
+type Machine struct {
+	Cfg    Config
+	E      *sim.Engine
+	Topo   *topology.Topology
+	Net    *interconnect.Network
+	Space  coherence.AddrSpace
+	Nodes  []*Node
+	Oracle *Oracle
+
+	// truth is the harness's ground-truth hardware state (what was
+	// actually injected), independent of what the algorithm discovers.
+	truth    *topology.View
+	ctrlDead map[int]bool // controllers killed or wedged
+
+	reports   map[int]*core.Report
+	expecting map[int]bool
+	recovered bool
+	lastEpoch int
+	// OnAllRecovered, if set, replaces the default post-recovery action
+	// (resume all surviving CPUs); the Hive layer uses it to run OS
+	// recovery first. The callback must call ResumeSurvivors itself.
+	OnAllRecovered func(map[int]*core.Report)
+}
+
+// MeshShape returns the w×h used for an n-node mesh: the most square
+// factorization with w ≥ h.
+func MeshShape(n int) (w, h int) {
+	w, h = n, 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			w, h = n/d, d
+		}
+	}
+	return w, h
+}
+
+// New builds and wires a machine.
+func New(cfg Config) *Machine {
+	var topo *topology.Topology
+	switch cfg.Topo {
+	case TopoHypercube:
+		dim := 0
+		for 1<<dim < cfg.Nodes {
+			dim++
+		}
+		if 1<<dim != cfg.Nodes {
+			panic(fmt.Sprintf("machine: hypercube needs power-of-two nodes, got %d", cfg.Nodes))
+		}
+		topo = topology.NewHypercube(dim)
+	default:
+		w, h := MeshShape(cfg.Nodes)
+		topo = topology.NewMesh(w, h)
+	}
+	e := sim.NewEngine(cfg.Seed)
+	icfg := interconnect.DefaultConfig()
+	icfg.Reliable = cfg.ReliableInterconnect
+	net := interconnect.New(e, topo, icfg)
+	space := coherence.AddrSpace{Nodes: cfg.Nodes, MemBytes: cfg.MemBytes, VectorTop: cfg.VectorTop}
+	m := &Machine{
+		Cfg: cfg, E: e, Topo: topo, Net: net, Space: space,
+		Oracle:    NewOracle(),
+		truth:     topology.NewView(topo),
+		ctrlDead:  map[int]bool{},
+		reports:   map[int]*core.Report{},
+		expecting: map[int]bool{},
+	}
+	net.OnLost = m.Oracle.PacketLost
+
+	rcfg := cfg.Recovery
+	rcfg.ReliableInterconnect = rcfg.ReliableInterconnect || cfg.ReliableInterconnect
+	rcfg.FailureUnits = cfg.FailureUnits
+	rcfg.L2ChargeLines = int(cfg.L2Bytes / 128)
+	rcfg.MemChargeLines = int(cfg.MemBytes / 128)
+	userOnEnter := rcfg.OnEnter
+	userOnComplete := rcfg.OnComplete
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{ID: i}
+		n.Mem = coherence.NewMemory(space.Base(i), cfg.MemBytes)
+		n.Dir = coherence.NewDirectory(cfg.Nodes)
+		n.Cache = coherence.NewCache(cfg.L2Bytes)
+		n.Ctrl = magic.New(e, net, i, space, n.Dir, n.Mem, n.Cache, cfg.Magic)
+		n.Ctrl.SetDeadDropHandler(func(msg *coherence.Message) {
+			if msg.Type.CarriesData() {
+				m.Oracle.LostLine(msg.Addr)
+			}
+		})
+		if cfg.FailureUnits != nil {
+			n.Ctrl.SetFailureUnits(cfg.FailureUnits)
+		}
+		n.CPU = proc.New(e, n.Ctrl, cfg.CPUWindow)
+		nodeCfg := rcfg
+		if cfg.Trace != nil {
+			userOnPhase := rcfg.OnPhase
+			nodeCfg.OnPhase = func(id int, p core.Phase) {
+				cfg.Trace.Record(e.Now(), id, trace.KindPhase, "%v", p)
+				if userOnPhase != nil {
+					userOnPhase(id, p)
+				}
+			}
+		}
+		nodeCfg.OnEnter = func(id int) {
+			m.Nodes[id].CPU.Pause()
+			if userOnEnter != nil {
+				userOnEnter(id)
+			}
+		}
+		nodeCfg.OnComplete = func(r *core.Report) {
+			m.agentDone(r)
+			if userOnComplete != nil {
+				userOnComplete(r)
+			}
+		}
+		n.Agent = core.NewAgent(e, net, n.Ctrl, topo, nodeCfg)
+		m.Nodes = append(m.Nodes, n)
+	}
+	return m
+}
+
+// --- fault.Target implementation -------------------------------------------
+
+var _ fault.Target = (*Machine)(nil)
+
+// KillNode implements a Table 5.2 node failure: the controller, processor,
+// memory and caches become unavailable; the router stays up.
+func (m *Machine) KillNode(id int) {
+	m.lostCacheContents(id)
+	m.Nodes[id].CPU.Pause()
+	m.Nodes[id].Ctrl.SetMode(magic.ModeDead)
+	m.Nodes[id].Agent.Kill()
+	m.ctrlDead[id] = true
+	m.planExpectations()
+}
+
+// LoopNode implements the infinite-loop fault: the controller stops
+// accepting packets and traffic backs up into the fabric.
+func (m *Machine) LoopNode(id int) {
+	m.lostCacheContents(id)
+	m.Nodes[id].CPU.Pause()
+	m.Nodes[id].Ctrl.SetMode(magic.ModeLoop)
+	m.Nodes[id].Agent.Kill()
+	m.ctrlDead[id] = true
+	m.planExpectations()
+}
+
+// FailRouter implements a router failure. The attached node is cut off and
+// will shut itself down when it notices; its cache contents are lost.
+func (m *Machine) FailRouter(r int) {
+	m.lostCacheContents(r)
+	m.Net.FailRouter(r)
+	m.truth.FailRouter(r)
+	m.planExpectations()
+}
+
+// FailLink implements a link failure.
+func (m *Machine) FailLink(l int) {
+	m.Net.FailLink(l)
+	m.truth.FailLink(l)
+	m.planExpectations()
+}
+
+// FalseAlarm triggers recovery on a healthy node with no actual fault.
+func (m *Machine) FalseAlarm(id int) {
+	m.Nodes[id].Agent.Trigger(magic.ReasonFalseAlarm)
+	m.planExpectations()
+}
+
+// Inject applies f now.
+func (m *Machine) Inject(f fault.Fault) {
+	m.Cfg.Trace.Record(m.E.Now(), -1, trace.KindFault, "%v", f)
+	f.Apply(m)
+}
+
+// InjectAll applies a compound fault (e.g. fault.PowerLoss) now.
+func (m *Machine) InjectAll(fs []fault.Fault) {
+	for _, f := range fs {
+		f.Apply(m)
+	}
+}
+
+// InjectAt schedules f at simulated time t.
+func (m *Machine) InjectAt(f fault.Fault, t sim.Time) {
+	m.E.At(t, func() { f.Apply(m) })
+}
+
+// lostCacheContents records every exclusive line cached on a node that is
+// about to become unavailable: those lines may legitimately turn incoherent.
+func (m *Machine) lostCacheContents(id int) {
+	m.Nodes[id].Cache.ForEach(func(a coherence.Addr, l *coherence.CacheLine) {
+		if l.State == coherence.CacheExclusive {
+			m.Oracle.LostLine(a)
+		}
+	})
+}
+
+// --- recovery bookkeeping ---------------------------------------------------
+
+// Survivors returns the ids of nodes whose controller is functioning, whose
+// router works, and which sit in the largest surviving component (the "main
+// machine" after a partition; ties go to the component with the lowest id).
+func (m *Machine) Survivors() []int {
+	alive := map[int]bool{}
+	for i := 0; i < m.Cfg.Nodes; i++ {
+		if !m.ctrlDead[i] && m.truth.RouterUp[i] {
+			alive[i] = true
+		}
+	}
+	var best []int
+	seen := map[int]bool{}
+	for i := 0; i < m.Cfg.Nodes; i++ {
+		if !alive[i] || seen[i] {
+			continue
+		}
+		b := m.truth.BFS(i)
+		var comp []int
+		for j := 0; j < m.Cfg.Nodes; j++ {
+			if alive[j] && b.Dist[j] >= 0 {
+				comp = append(comp, j)
+				seen[j] = true
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}
+
+// planExpectations recomputes which nodes are expected to produce recovery
+// reports: the survivors (doomed unit members included — they report with
+// ShutDown set). Nodes with working controllers that are cut off from the
+// main component (partitions, dead routers) cannot return their exclusive
+// lines: the oracle learns those may be lost.
+func (m *Machine) planExpectations() {
+	m.recovered = false
+	m.reports = map[int]*core.Report{}
+	m.expecting = map[int]bool{}
+	inMain := map[int]bool{}
+	for _, s := range m.Survivors() {
+		m.expecting[s] = true
+		inMain[s] = true
+	}
+	for i := 0; i < m.Cfg.Nodes; i++ {
+		if !m.ctrlDead[i] && !inMain[i] {
+			m.lostCacheContents(i)
+		}
+	}
+}
+
+func (m *Machine) agentDone(r *core.Report) {
+	if m.recovered && r.Epoch > m.lastEpoch {
+		// A fresh recovery round (e.g. triggered by a straggling
+		// timeout) after the previous one completed: collect reports
+		// anew so its completion is acted on too.
+		m.recovered = false
+		m.reports = map[int]*core.Report{}
+	}
+	if r.Epoch > m.lastEpoch {
+		m.lastEpoch = r.Epoch
+	}
+	m.reports[r.Node] = r
+	m.Cfg.Trace.Record(m.E.Now(), r.Node, trace.KindComplete,
+		"epoch=%d restarts=%d shutdown=%v incoherent=%d", r.Epoch, r.Restarts, r.ShutDown, r.Incoherent)
+	if r.Isolated || r.ShutDown {
+		// Whatever the node still held when it shut down is gone:
+		// cache contents acquired after the injection snapshot and any
+		// unreturned orphan grants.
+		m.lostCacheContents(r.Node)
+		for _, o := range m.Nodes[r.Node].Ctrl.Orphans() {
+			m.Oracle.LostLine(o.Addr)
+		}
+	}
+	if m.recovered {
+		return
+	}
+	for n := range m.expecting {
+		if m.reports[n] == nil {
+			return
+		}
+	}
+	m.recovered = true
+	if m.OnAllRecovered != nil {
+		m.OnAllRecovered(m.reports)
+		return
+	}
+	m.ResumeSurvivors()
+}
+
+// ResumeSurvivors resumes the CPUs of every node that completed recovery
+// without shutting down, in node order (resume order is visible to user
+// code, so it must be deterministic).
+func (m *Machine) ResumeSurvivors() {
+	for n := 0; n < m.Cfg.Nodes; n++ {
+		if r := m.reports[n]; r != nil && !r.ShutDown && !r.Isolated {
+			m.Nodes[n].CPU.Resume()
+		}
+	}
+}
+
+// Recovered reports whether all expected recovery reports have arrived.
+func (m *Machine) Recovered() bool { return m.recovered }
+
+// Reports returns the collected recovery reports by node.
+func (m *Machine) Reports() map[int]*core.Report { return m.reports }
+
+// RunUntilRecovered advances the simulation until recovery completes or the
+// deadline passes; it reports whether recovery completed.
+func (m *Machine) RunUntilRecovered(deadline sim.Time) bool {
+	for !m.recovered && m.E.Now() < deadline {
+		step := m.E.Now() + sim.Millisecond
+		if step > deadline {
+			step = deadline
+		}
+		m.E.RunUntil(step)
+	}
+	return m.recovered
+}
+
+// PhaseTimes aggregates recovery duration per phase across all reports,
+// measured from the earliest recovery entry (the fault-detection moment).
+type PhaseTimes struct {
+	Start                sim.Time
+	P1, P12, P123, Total sim.Time // cumulative, as plotted in Fig 5.5
+	// WB and Scan split the coherence-recovery phase into its cache
+	// flush and directory sweep components (Fig 5.6).
+	WB, Scan               sim.Time
+	MaxRounds, MaxIncoher  int
+	Restarts, Participants int
+}
+
+// P2Time returns the dissemination-phase duration (P12 − P1).
+func (pt PhaseTimes) P2Time() sim.Time { return pt.P12 - pt.P1 }
+
+// P4Time returns the coherence-recovery duration (Total − P123).
+func (pt PhaseTimes) P4Time() sim.Time { return pt.Total - pt.P123 }
+
+// Aggregate computes Fig 5.5-style cumulative phase times from the reports.
+func (m *Machine) Aggregate() PhaseTimes {
+	var pt PhaseTimes
+	first := true
+	for _, r := range m.reports {
+		if r.Isolated {
+			continue
+		}
+		if first || r.Start < pt.Start {
+			pt.Start = r.Start
+		}
+		first = false
+	}
+	for _, r := range m.reports {
+		if r.Isolated {
+			continue
+		}
+		pt.Participants++
+		if d := r.P1End - pt.Start; d > pt.P1 {
+			pt.P1 = d
+		}
+		if d := r.P2End - pt.Start; d > pt.P12 {
+			pt.P12 = d
+		}
+		if d := r.P3End - pt.Start; d > pt.P123 {
+			pt.P123 = d
+		}
+		if d := r.P4End - pt.Start; d > pt.Total {
+			pt.Total = d
+		}
+		if d := r.FlushEnd - r.P3End; d > pt.WB {
+			pt.WB = d
+		}
+		if d := r.P4End - r.FlushEnd; d > pt.Scan {
+			pt.Scan = d
+		}
+		if r.Rounds > pt.MaxRounds {
+			pt.MaxRounds = r.Rounds
+		}
+		if r.Incoherent > pt.MaxIncoher {
+			pt.MaxIncoher = r.Incoherent
+		}
+		pt.Restarts += r.Restarts
+	}
+	return pt
+}

@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"testing"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/interconnect"
+)
+
+func TestOracleTokens(t *testing.T) {
+	o := NewOracle()
+	a, b := o.NextToken(), o.NextToken()
+	if a == b {
+		t.Fatal("tokens must be unique")
+	}
+	addr := coherence.Addr(0x1280)
+	if o.ExpectedToken(addr) != coherence.InitialToken(addr.Line()) {
+		t.Fatal("unwritten line should expect its initial token")
+	}
+	o.Wrote(addr, a)
+	if o.ExpectedToken(addr) != a || o.ExpectedToken(addr.Line()) != a {
+		t.Fatal("written token not expected")
+	}
+	if len(o.WrittenLines()) != 1 {
+		t.Fatal("WrittenLines wrong")
+	}
+}
+
+func TestOracleMayBeLost(t *testing.T) {
+	o := NewOracle()
+	if o.MayBeLost(0x80) {
+		t.Fatal("fresh oracle should have no lost lines")
+	}
+	o.LostLine(0x85) // unaligned: records the line
+	if !o.MayBeLost(0x80) {
+		t.Fatal("LostLine should be line-granular")
+	}
+	if o.LostCount() != 1 {
+		t.Fatal("LostCount wrong")
+	}
+}
+
+func TestOraclePacketLost(t *testing.T) {
+	o := NewOracle()
+	// Data-carrying messages mark their line; control messages don't.
+	o.PacketLost(&interconnect.Packet{Payload: &coherence.Message{
+		Type: coherence.MsgPut, Addr: 0x100,
+	}})
+	o.PacketLost(&interconnect.Packet{Payload: &coherence.Message{
+		Type: coherence.MsgGet, Addr: 0x200,
+	}})
+	o.PacketLost(&interconnect.Packet{Payload: "not a coherence message"})
+	if !o.MayBeLost(0x100) {
+		t.Fatal("lost PUT should mark its line")
+	}
+	if o.MayBeLost(0x200) {
+		t.Fatal("lost GET must not mark anything")
+	}
+}
+
+func TestOracleScrubbed(t *testing.T) {
+	o := NewOracle()
+	addr := coherence.Addr(0x300)
+	tok := o.NextToken()
+	o.Wrote(addr, tok)
+	o.LostLine(addr)
+	o.Scrubbed(addr)
+	if o.MayBeLost(addr) {
+		t.Fatal("scrubbed line should no longer be lost")
+	}
+	if o.ExpectedToken(addr) != coherence.InitialToken(addr) {
+		t.Fatal("scrubbed line should expect fresh content")
+	}
+}
+
+func TestVerifyResultOKAndString(t *testing.T) {
+	v := &VerifyResult{LinesChecked: 10, CorrectData: 10}
+	if !v.OK() || v.String() == "" {
+		t.Fatal("clean result should be OK")
+	}
+	v.WrongData = append(v.WrongData, 0x80)
+	if v.OK() {
+		t.Fatal("wrong data must fail")
+	}
+	v2 := &VerifyResult{OverMarked: []coherence.Addr{1}}
+	if v2.OK() {
+		t.Fatal("over-marking must fail")
+	}
+	v3 := &VerifyResult{Pending: 1}
+	if v3.OK() {
+		t.Fatal("pending reads must fail")
+	}
+}

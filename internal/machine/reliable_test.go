@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"testing"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/fault"
+	"flashfc/internal/magic"
+	"flashfc/internal/sim"
+)
+
+// §6.3: on a machine with HAL-style end-to-end reliable coherence delivery,
+// the recovery algorithm eliminates the cache flush; only the directory
+// sweep remains, and no in-flight writeback is ever lost.
+
+func reliableConfig(seed int64) Config {
+	cfg := smallConfig(seed)
+	cfg.ReliableInterconnect = true
+	return cfg
+}
+
+func TestReliableRecoveryKeepsCachesWarm(t *testing.T) {
+	m := New(reliableConfig(61))
+	// Node 1 caches a remote line exclusive before the fault.
+	addr := coherenceAddr(uint64(m.Space.Base(2)) + 0x400)
+	tok := m.Oracle.NextToken()
+	m.Nodes[1].Ctrl.Write(addr, tok, func(r result) {
+		if r.Err == nil {
+			m.Oracle.Wrote(addr, tok)
+		}
+	})
+	m.E.Run()
+
+	m.Inject(fault.Fault{Type: fault.NodeFailure, Node: 5})
+	m.Nodes[0].CPU.Submit(readOp(m, uint64(m.Space.Base(5))+0x80))
+	if !m.RunUntilRecovered(5 * sim.Second) {
+		t.Fatal("recovery incomplete")
+	}
+	// Node 1 still holds the line exclusive: no flush happened.
+	l := m.Nodes[1].Cache.Lookup(addr)
+	if l == nil || l.Token != tok {
+		t.Fatalf("cache should stay warm across reliable recovery: %+v", l)
+	}
+	for _, r := range m.Reports() {
+		if r.Writebacks != 0 {
+			t.Fatalf("node %d flushed %d lines; reliable recovery must not flush", r.Node, r.Writebacks)
+		}
+	}
+	// Data is still coherently readable by a third node.
+	var got magic.Result
+	m.Nodes[3].Ctrl.Read(addr, func(r result) { got = r })
+	m.E.Run()
+	if got.Err != nil || got.Token != tok {
+		t.Fatalf("post-recovery read: %+v want %x", got, tok)
+	}
+}
+
+func TestReliableRetransmitsLostWriteback(t *testing.T) {
+	m := New(reliableConfig(67))
+	// Node 3 (home of nothing relevant) writes a line homed on node 0;
+	// the eviction writeback is forced mid-flight across a link that
+	// fails, destroying the only copy — on a plain machine this becomes
+	// an incoherent line, but the reliable fabric resends it.
+	addr := coherenceAddr(uint64(m.Space.Base(0)) + 0x600)
+	tok := m.Oracle.NextToken()
+	committed := false
+	m.Nodes[3].Ctrl.Write(addr, tok, func(r result) {
+		if r.Err == nil {
+			m.Oracle.Wrote(addr, tok)
+			committed = true
+		}
+	})
+	m.E.Run()
+	if !committed {
+		t.Fatal("setup write failed")
+	}
+	// Force the dirty line onto the wire: node 2 reads it, which makes
+	// the home recall node 3's copy; the link carrying the writeback
+	// fails mid-flight, so the PUT — the only valid copy — is destroyed
+	// on a plain machine but retained and resent by the reliable fabric.
+	p := m.Topo.PortTo(3, 2)
+	link := m.Topo.Adjacency(3)[p].Link
+	var res magic.Result
+	done := false
+	m.Nodes[2].Ctrl.Read(addr, func(r result) { res = r; done = true })
+	m.E.At(m.E.Now()+400, func() { m.FailLink(link) })
+	if !m.RunUntilRecovered(5 * sim.Second) {
+		t.Fatal("recovery incomplete")
+	}
+	// Let the retransmission fire and the aborted read settle.
+	m.E.RunUntil(m.E.Now() + 20*sim.Millisecond)
+	_ = done
+	_ = res
+	// The line must NOT be incoherent: either the PUT survived another
+	// route or was retransmitted after recovery.
+	var got magic.Result
+	ok := false
+	m.Nodes[1].Ctrl.Read(addr, func(r result) { got = r; ok = true })
+	m.E.RunUntil(m.E.Now() + sim.Millisecond)
+	if !ok || got.Err != nil {
+		t.Fatalf("read after reliable recovery: %+v", got)
+	}
+	if got.Token != tok {
+		t.Fatalf("token = %x, want %x (writeback lost despite reliable fabric)", got.Token, tok)
+	}
+}
+
+func TestReliableRecoveryMarksOnlyDeadOwnedLines(t *testing.T) {
+	m := New(reliableConfig(71))
+	// Live owner: line survives. Dead owner: line incoherent.
+	liveLine := coherenceAddr(uint64(m.Space.Base(2)) + 0x800)
+	deadLine := coherenceAddr(uint64(m.Space.Base(2)) + 0x900)
+	for _, w := range []struct {
+		node int
+		addr addr
+		tok  uint64
+	}{{1, liveLine, m.Oracle.NextToken()}, {5, deadLine, m.Oracle.NextToken()}} {
+		w := w
+		m.Nodes[w.node].Ctrl.Write(w.addr, w.tok, func(r result) {
+			if r.Err == nil {
+				m.Oracle.Wrote(w.addr, w.tok)
+			}
+		})
+	}
+	m.E.Run()
+	m.Inject(fault.Fault{Type: fault.NodeFailure, Node: 5})
+	m.Nodes[0].CPU.Submit(readOp(m, uint64(m.Space.Base(5))+0x80))
+	if !m.RunUntilRecovered(5 * sim.Second) {
+		t.Fatal("recovery incomplete")
+	}
+	if !m.Nodes[2].Dir.Incoherent(deadLine) {
+		t.Fatal("dead-owned line should be incoherent")
+	}
+	if m.Nodes[2].Dir.Incoherent(liveLine) {
+		t.Fatal("live-owned line must not be incoherent")
+	}
+	res := m.VerifyMemory(0, 1)
+	if !res.OK() {
+		t.Fatalf("verify: %v", res)
+	}
+}
+
+func TestReliableP4FasterThanFlushed(t *testing.T) {
+	measure := func(reliable bool) sim.Time {
+		cfg := DefaultConfig(8)
+		cfg.Seed = 73
+		cfg.MemBytes = 1 << 20
+		cfg.L2Bytes = 1 << 20
+		cfg.ReliableInterconnect = reliable
+		m := New(cfg)
+		m.Inject(fault.Fault{Type: fault.NodeFailure, Node: 5})
+		m.Nodes[1].CPU.Submit(readOp(m, uint64(m.Space.Base(5))+0x80))
+		if !m.RunUntilRecovered(10 * sim.Second) {
+			t.Fatal("recovery incomplete")
+		}
+		return m.Aggregate().P4Time()
+	}
+	flushed := measure(false)
+	reliable := measure(true)
+	if reliable >= flushed {
+		t.Fatalf("flush-free P4 should be faster: flushed=%v reliable=%v", flushed, reliable)
+	}
+}
+
+type addr = coherence.Addr

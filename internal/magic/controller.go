@@ -1,0 +1,457 @@
+// Package magic models the MAGIC programmable node controller (§2): a
+// serialized handler engine that services coherence requests from the local
+// processor and the interconnect, plus the fault-containment features the
+// paper adds to it (§3, Table 6.1): the node map, NAK counters, memory
+// operation timeouts, the firewall, the protocol-memory range check, the
+// exception-vector remap, truncated-message handling, firmware assertions,
+// and the recovery-mode hooks used by the distributed recovery algorithm.
+package magic
+
+import (
+	"errors"
+	"fmt"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/interconnect"
+	"flashfc/internal/sim"
+	"flashfc/internal/timing"
+)
+
+// Mode is the controller's operating mode.
+type Mode int
+
+const (
+	// ModeNormal services coherence traffic.
+	ModeNormal Mode = iota
+	// ModeDrain fields and discards incoming coherence traffic without
+	// generating replies or invalidates, recording delivery times for
+	// the τ drain agreement (§4.4).
+	ModeDrain
+	// ModeFlush services only writebacks (and recovery traffic), for the
+	// coherence-recovery cache flush (§4.5).
+	ModeFlush
+	// ModeLoop models a firmware handler stuck in an infinite loop: the
+	// controller stops accepting packets and congests the fabric (§3.1).
+	ModeLoop
+	// ModeDead models a failed node: everything is silently discarded.
+	ModeDead
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeDrain:
+		return "drain"
+	case ModeFlush:
+		return "flush"
+	case ModeLoop:
+		return "loop"
+	case ModeDead:
+		return "dead"
+	default:
+		return "?"
+	}
+}
+
+// TriggerReason identifies which of the Table 4.1 mechanisms initiated
+// recovery.
+type TriggerReason int
+
+const (
+	ReasonTimeout TriggerReason = iota
+	ReasonNAKOverflow
+	ReasonAssertion
+	ReasonTruncated
+	ReasonPing       // dropped into recovery by a neighbor's ping wave
+	ReasonFalseAlarm // operator- or overload-triggered, no actual fault
+)
+
+func (r TriggerReason) String() string {
+	switch r {
+	case ReasonTimeout:
+		return "memory operation timeout"
+	case ReasonNAKOverflow:
+		return "NAK counter overflow"
+	case ReasonAssertion:
+		return "firmware assertion failure"
+	case ReasonTruncated:
+		return "truncated packet received"
+	case ReasonPing:
+		return "recovery ping"
+	case ReasonFalseAlarm:
+		return "false alarm"
+	default:
+		return "?"
+	}
+}
+
+// Errors surfaced to the processor.
+var (
+	// ErrBusError terminates an access to an inaccessible, incoherent,
+	// firewalled or range-protected line.
+	ErrBusError = errors.New("magic: bus error")
+	// ErrAborted completes an access cut short by recovery entry; the
+	// issuing code reissues it after recovery.
+	ErrAborted = errors.New("magic: aborted by recovery")
+)
+
+// Result completes a processor memory operation.
+type Result struct {
+	Token uint64
+	Err   error
+}
+
+// Config tunes one controller.
+type Config struct {
+	// FirewallEnabled turns on the per-page write access control (§3.3).
+	FirewallEnabled bool
+	// ProtocolMemBytes reserves the low region of the node's own memory
+	// for MAGIC code/data; processor writes to it are bus-errored by the
+	// range check (§3.3). Zero disables the check.
+	ProtocolMemBytes uint64
+	// InputQueue is the controller input buffer in packets; when full,
+	// deliveries are refused and back up into the fabric.
+	InputQueue int
+	// NAKLimit is the NAK-counter overflow threshold (Table 4.1).
+	NAKLimit int
+	// MemOpTimeout bounds outstanding memory operations (Table 4.1).
+	MemOpTimeout sim.Time
+	// NAKRetryDelay is the backoff before retrying a NAKed request.
+	NAKRetryDelay sim.Time
+	// CacheHitTime is the latency of a local L2 hit.
+	CacheHitTime sim.Time
+}
+
+// DefaultConfig returns the paper-calibrated controller parameters.
+func DefaultConfig() Config {
+	return Config{
+		InputQueue:    16,
+		NAKLimit:      timing.NAKLimit,
+		MemOpTimeout:  timing.MemOpTimeout,
+		NAKRetryDelay: timing.NAKRetryDelay,
+		CacheHitTime:  50,
+	}
+}
+
+// Stats counts controller-level events.
+type Stats struct {
+	HandlersRun    uint64
+	NAKsSent       uint64
+	NAKsReceived   uint64
+	BusErrors      uint64
+	Timeouts       uint64
+	Retries        uint64
+	FirewallDenied uint64
+	RangeDenied    uint64
+	UncachedDenied uint64
+	TruncatedSeen  uint64
+	DroppedInMode  uint64 // packets consumed and dropped in drain/flush/dead
+}
+
+// mshr tracks one outstanding processor-initiated operation.
+type mshr struct {
+	seq      uint64
+	addr     coherence.Addr
+	excl     bool
+	hasStore bool
+	storeTok uint64
+	uncached bool
+	udst     int
+	uwrite   bool
+	upayload any
+	cb       func(Result)
+	ucb      func(any, error)
+	naks     int
+	timeout  *sim.Timer
+	retry    *sim.Timer
+	// recalled is set when a recall for this line arrives before the
+	// exclusive grant does (the recall overtook the grant on another
+	// virtual lane); the grant is then written straight back home.
+	recalled   bool
+	recallHome int
+	// invalidated is set when an invalidation overtakes a shared grant;
+	// the granted data completes the load but is not cached.
+	invalidated bool
+	// waiters holds same-line operations merged into this miss (one MSHR
+	// per line); they replay through the cache when the miss completes.
+	waiters []waiterOp
+}
+
+// waiterOp is an operation merged into an outstanding same-line miss.
+type waiterOp struct {
+	excl     bool
+	hasStore bool
+	storeTok uint64
+	cb       func(Result)
+}
+
+// Controller is one node's MAGIC chip.
+type Controller struct {
+	ID    int
+	E     *sim.Engine
+	Net   *interconnect.Network
+	Space coherence.AddrSpace
+	Dir   *coherence.Directory
+	Mem   *coherence.Memory
+	Cache *coherence.Cache
+	cfg   Config
+
+	mode   Mode
+	nodeUp []bool
+	// unit is the failure-unit id of every node; uncached operations from
+	// outside the local unit are bus-errored (§3.3). nil disables checks.
+	unit []int
+	// firewall maps a page base to its write-access list; absent pages
+	// are writable by everyone.
+	firewall map[coherence.Addr]coherence.NodeSet
+
+	input []*interconnect.Packet
+	busy  bool
+	// orphans holds exclusive data grants that arrived during drain mode
+	// after their requesting operation was aborted (§4.2/§4.4): the data
+	// is not lost — it is returned home during the P4 flush.
+	orphans []*coherence.Message
+
+	mshrs map[uint64]*mshr
+	seq   uint64
+
+	lastNormalDelivery sim.Time
+
+	onTrigger       func(TriggerReason)
+	onRecoveryPkt   func(*interconnect.Packet)
+	onDeadDrop      func(*coherence.Message)
+	uncachedHandler func(src int, payload any) (any, error)
+
+	Stats Stats
+}
+
+// New wires a controller to its node's state and registers it as the
+// network endpoint for node id.
+func New(e *sim.Engine, net *interconnect.Network, id int, space coherence.AddrSpace,
+	dir *coherence.Directory, mem *coherence.Memory, cache *coherence.Cache, cfg Config) *Controller {
+	c := &Controller{
+		ID: id, E: e, Net: net, Space: space,
+		Dir: dir, Mem: mem, Cache: cache, cfg: cfg,
+		nodeUp:   make([]bool, space.Nodes),
+		firewall: make(map[coherence.Addr]coherence.NodeSet),
+		mshrs:    make(map[uint64]*mshr),
+	}
+	for i := range c.nodeUp {
+		c.nodeUp[i] = true
+	}
+	net.SetEndpoint(id, c)
+	return c
+}
+
+// Mode returns the controller's current mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// SetMode switches the operating mode. Entering an accepting mode retries
+// blocked deliveries.
+func (c *Controller) SetMode(m Mode) {
+	c.mode = m
+	if m != ModeLoop {
+		c.Net.NodeReady(c.ID)
+	}
+}
+
+// SetTriggerHandler registers the recovery-initiation callback invoked on
+// the Table 4.1 trigger conditions.
+func (c *Controller) SetTriggerHandler(fn func(TriggerReason)) { c.onTrigger = fn }
+
+// SetRecoveryHandler registers the receiver for recovery-lane packets.
+func (c *Controller) SetRecoveryHandler(fn func(*interconnect.Packet)) { c.onRecoveryPkt = fn }
+
+// SetDeadDropHandler registers an observer for coherence messages the
+// controller consumes without acting on (dead mode, drain mode, recovery
+// entry): a discarded data-carrying message may have held a line's only
+// valid copy. The verification oracle subscribes here.
+func (c *Controller) SetDeadDropHandler(fn func(*coherence.Message)) { c.onDeadDrop = fn }
+
+// discarded reports a consumed-but-unprocessed message to the oracle hook.
+func (c *Controller) discarded(msg *coherence.Message) {
+	if c.onDeadDrop != nil {
+		c.onDeadDrop(msg)
+	}
+}
+
+// SetUncachedHandler registers the service invoked for uncached operations
+// arriving from other nodes (the Hive RPC doorbell).
+func (c *Controller) SetUncachedHandler(fn func(src int, payload any) (any, error)) {
+	c.uncachedHandler = fn
+}
+
+// SetFailureUnits installs the node→failure-unit map used for the
+// cross-unit uncached-access check.
+func (c *Controller) SetFailureUnits(unit []int) { c.unit = unit }
+
+// SetNodeUp updates the node map (§3.1). Recovery calls this on every
+// functioning node after dissemination.
+func (c *Controller) SetNodeUp(id int, up bool) { c.nodeUp[id] = up }
+
+// NodeUp reads the node map.
+func (c *Controller) NodeUp(id int) bool { return c.nodeUp[id] }
+
+// SetFirewall installs the write-access list for a page (nil opens it).
+func (c *Controller) SetFirewall(page coherence.Addr, writers coherence.NodeSet) {
+	if writers == nil {
+		delete(c.firewall, page.Page())
+		return
+	}
+	c.firewall[page.Page()] = writers
+}
+
+// firewallAllows reports whether node req may fetch lines of addr exclusive.
+func (c *Controller) firewallAllows(addr coherence.Addr, req int) bool {
+	if !c.cfg.FirewallEnabled {
+		return true
+	}
+	w, ok := c.firewall[addr.Page()]
+	if !ok {
+		return true
+	}
+	return w.Has(req)
+}
+
+// rangeDenied reports whether the processor-initiated write to addr hits the
+// protocol-memory range check of the home node.
+func (c *Controller) rangeDenied(addr coherence.Addr) bool {
+	if c.cfg.ProtocolMemBytes == 0 {
+		return false
+	}
+	home := c.Space.Home(addr)
+	base := c.Space.Base(home)
+	return uint64(addr-base) < c.cfg.ProtocolMemBytes
+}
+
+// LastNormalDelivery returns the time the controller last consumed a
+// normal-lane packet; the drain agreement's τ votes are based on it.
+func (c *Controller) LastNormalDelivery() sim.Time { return c.lastNormalDelivery }
+
+// FailAssertion models a firmware assertion tripping (Table 4.1).
+func (c *Controller) FailAssertion() { c.trigger(ReasonAssertion) }
+
+func (c *Controller) trigger(r TriggerReason) {
+	if c.onTrigger != nil {
+		c.onTrigger(r)
+	}
+}
+
+// Accept implements interconnect.Endpoint.
+func (c *Controller) Accept(p *interconnect.Packet) bool {
+	switch c.mode {
+	case ModeDead:
+		// Silently discarded (§4.1). A discarded data-carrying message
+		// may have held a line's only valid copy; the harness oracle
+		// observes it through the dead-drop hook.
+		if msg, ok := p.Payload.(*coherence.Message); ok {
+			c.discarded(msg)
+		}
+		return true
+	case ModeLoop:
+		return false // controller stopped accepting; fabric backs up
+	}
+	if p.Lane.IsRecovery() {
+		if c.onRecoveryPkt != nil {
+			c.onRecoveryPkt(p)
+		}
+		return true
+	}
+	// Normal-lane traffic.
+	c.lastNormalDelivery = c.E.Now()
+	if p.Truncated {
+		// §3.1: MAGIC completed the message with parity-error bits set;
+		// the next dispatch is the error handler, which triggers
+		// recovery. The data is unusable and dropped.
+		c.Stats.TruncatedSeen++
+		c.trigger(ReasonTruncated)
+		return true
+	}
+	msg, isCoh := p.Payload.(*coherence.Message)
+	if !isCoh {
+		// Normal-lane recovery control traffic (the P4 flush barrier
+		// travels behind the writebacks on the same channels to
+		// exploit in-order delivery, §4.5).
+		if c.onRecoveryPkt != nil {
+			c.onRecoveryPkt(p)
+		}
+		return true
+	}
+	switch c.mode {
+	case ModeDrain:
+		// §4.4: controllers keep fielding messages while the fabric
+		// drains, but incoming *requests* no longer generate replies.
+		// Writebacks are folded home and orphaned exclusive grants are
+		// stashed for return during the flush; everything else is
+		// consumed without effect.
+		switch msg.Type {
+		case coherence.MsgPut, coherence.MsgDataExcl:
+			// handled below (queued normally)
+		default:
+			c.Stats.DroppedInMode++
+			c.discarded(msg)
+			return true
+		}
+	case ModeFlush:
+		if msg.Type != coherence.MsgPut && msg.Type != coherence.MsgDataExcl {
+			c.Stats.DroppedInMode++
+			c.discarded(msg)
+			return true
+		}
+	}
+	if len(c.input) >= c.cfg.InputQueue {
+		return false
+	}
+	c.input = append(c.input, p)
+	c.process()
+	return true
+}
+
+// process runs the dispatch loop: one handler at a time, each charged its
+// occupancy before its effects apply.
+func (c *Controller) process() {
+	if c.busy || len(c.input) == 0 {
+		return
+	}
+	p := c.input[0]
+	c.input = c.input[1:]
+	c.Net.NodeReady(c.ID) // freed an input slot
+	msg, ok := p.Payload.(*coherence.Message)
+	if !ok {
+		c.process()
+		return
+	}
+	c.busy = true
+	occ := c.occupancy(msg)
+	c.E.After(occ, func() {
+		c.busy = false
+		c.Stats.HandlersRun++
+		c.handle(msg)
+		c.process()
+	})
+}
+
+// occupancy returns the handler execution time for msg (§3.1: common
+// handlers take ~120 ns; the firewall check adds cycles to intercell write
+// misses; invalidation fan-out costs per destination).
+func (c *Controller) occupancy(msg *coherence.Message) sim.Time {
+	occ := timing.HandlerCommon
+	switch msg.Type {
+	case coherence.MsgGetX:
+		if c.cfg.FirewallEnabled && c.unit != nil &&
+			c.unit[msg.Req] != c.unit[c.ID] {
+			occ += timing.HandlerFirewallCheck
+		}
+		if e := c.Dir.Lookup(msg.Addr); e != nil && e.State == coherence.DirShared {
+			occ += sim.Time(e.Sharers.Count()) * timing.HandlerPerInvalidation
+		}
+	case coherence.MsgUncachedRead, coherence.MsgUncachedWrite:
+		occ += timing.HandlerRecoveryOp
+	}
+	return occ
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("magic(node=%d mode=%v)", c.ID, c.mode)
+}

@@ -1,0 +1,378 @@
+package magic
+
+import (
+	"flashfc/internal/coherence"
+)
+
+// Home-side and requester-side protocol handlers. Each runs after its
+// dispatch occupancy has been charged (see Controller.process).
+
+func (c *Controller) handle(msg *coherence.Message) {
+	// The mode may have changed while this handler sat in the queue.
+	switch c.mode {
+	case ModeDead, ModeLoop:
+		c.Stats.DroppedInMode++
+		c.discarded(msg)
+		return
+	case ModeDrain, ModeFlush:
+		switch msg.Type {
+		case coherence.MsgPut:
+			c.handlePut(msg)
+		case coherence.MsgDataExcl:
+			// An exclusive grant whose requesting operation was
+			// aborted by recovery: the line's only valid copy is in
+			// this message. Stash it; the flush returns it home.
+			if m, ok := c.mshrs[msg.Seq]; ok && c.mode == ModeFlush {
+				_ = m // no outstanding ops survive recovery entry
+			}
+			c.orphans = append(c.orphans, msg)
+		default:
+			c.Stats.DroppedInMode++
+			c.discarded(msg)
+		}
+		return
+	}
+	switch msg.Type {
+	case coherence.MsgGet:
+		c.handleGet(msg)
+	case coherence.MsgGetX:
+		c.handleGetX(msg)
+	case coherence.MsgPut:
+		c.handlePut(msg)
+	case coherence.MsgRecall:
+		c.handleRecall(msg)
+	case coherence.MsgRecallNak:
+		c.handleRecallNak(msg)
+	case coherence.MsgInval:
+		c.handleInval(msg)
+	case coherence.MsgInvAck:
+		c.handleInvAck(msg)
+	case coherence.MsgDataShared, coherence.MsgDataExcl,
+		coherence.MsgNak, coherence.MsgBusErr:
+		c.handleReply(msg)
+	case coherence.MsgUncachedRead, coherence.MsgUncachedWrite:
+		c.handleUncached(msg)
+	case coherence.MsgUncachedReply, coherence.MsgUncachedErr:
+		c.handleUncachedReply(msg)
+	}
+}
+
+// reply sends a response for the transaction identified by (req, seq).
+func (c *Controller) reply(req int, ty coherence.MsgType, addr coherence.Addr, seq uint64, data uint64) {
+	if ty == coherence.MsgNak {
+		c.Stats.NAKsSent++
+	}
+	if ty == coherence.MsgBusErr {
+		c.Stats.BusErrors++
+	}
+	c.sendMsg(req, &coherence.Message{Type: ty, Addr: addr, Req: req, Seq: seq, Data: data})
+}
+
+// handleGet services a shared-copy request at the home.
+func (c *Controller) handleGet(msg *coherence.Message) {
+	e := c.Dir.Get(msg.Addr)
+	switch e.State {
+	case coherence.DirInvalid:
+		e.State = coherence.DirShared
+		e.Sharers.Add(msg.Req)
+		c.reply(msg.Req, coherence.MsgDataShared, msg.Addr, msg.Seq, c.Mem.Read(msg.Addr))
+	case coherence.DirShared:
+		e.Sharers.Add(msg.Req)
+		c.reply(msg.Req, coherence.MsgDataShared, msg.Addr, msg.Seq, c.Mem.Read(msg.Addr))
+	case coherence.DirExclusive:
+		if e.Owner == msg.Req {
+			// A request from the recorded owner means its eviction
+			// writeback is in flight and was overtaken on the request
+			// lane: lock the line and complete when the PUT arrives.
+			e.State = coherence.DirPendingRecall
+			e.PendingReq = msg.Req
+			e.PendingExcl = false
+			e.PendingSeq = msg.Seq
+			return
+		}
+		// Lock the line and recall the owner's copy (§3.2).
+		e.State = coherence.DirPendingRecall
+		e.PendingReq = msg.Req
+		e.PendingExcl = false
+		e.PendingSeq = msg.Seq
+		c.sendMsg(e.Owner, &coherence.Message{Type: coherence.MsgRecall, Addr: msg.Addr, Req: c.ID})
+	case coherence.DirPendingRecall, coherence.DirPendingInval:
+		c.reply(msg.Req, coherence.MsgNak, msg.Addr, msg.Seq, 0)
+	case coherence.DirIncoherent:
+		c.reply(msg.Req, coherence.MsgBusErr, msg.Addr, msg.Seq, 0)
+	}
+}
+
+// handleGetX services an exclusive-copy request at the home, applying the
+// firewall write-access check (§3.3).
+func (c *Controller) handleGetX(msg *coherence.Message) {
+	if !c.firewallAllows(msg.Addr, msg.Req) {
+		c.Stats.FirewallDenied++
+		c.reply(msg.Req, coherence.MsgBusErr, msg.Addr, msg.Seq, 0)
+		return
+	}
+	e := c.Dir.Get(msg.Addr)
+	switch e.State {
+	case coherence.DirInvalid:
+		e.State = coherence.DirExclusive
+		e.Owner = msg.Req
+		c.reply(msg.Req, coherence.MsgDataExcl, msg.Addr, msg.Seq, c.Mem.Read(msg.Addr))
+	case coherence.DirShared:
+		acks := 0
+		e.Sharers.ForEach(func(id int) {
+			if id != msg.Req {
+				acks++
+			}
+		})
+		if acks == 0 {
+			// Requester is the only sharer (or none): grant directly.
+			e.Sharers.Clear()
+			e.State = coherence.DirExclusive
+			e.Owner = msg.Req
+			c.reply(msg.Req, coherence.MsgDataExcl, msg.Addr, msg.Seq, c.Mem.Read(msg.Addr))
+			return
+		}
+		e.State = coherence.DirPendingInval
+		e.PendingReq = msg.Req
+		e.PendingExcl = true
+		e.PendingSeq = msg.Seq
+		e.AcksLeft = acks
+		e.Sharers.ForEach(func(id int) {
+			if id != msg.Req {
+				c.sendMsg(id, &coherence.Message{Type: coherence.MsgInval, Addr: msg.Addr, Req: c.ID})
+			}
+		})
+		e.Sharers.Clear()
+	case coherence.DirExclusive:
+		if e.Owner == msg.Req {
+			// Owner re-requesting: its eviction PUT was overtaken by
+			// this request; wait for the writeback and grant fresh.
+			e.State = coherence.DirPendingRecall
+			e.PendingReq = msg.Req
+			e.PendingExcl = true
+			e.PendingSeq = msg.Seq
+			return
+		}
+		e.State = coherence.DirPendingRecall
+		e.PendingReq = msg.Req
+		e.PendingExcl = true
+		e.PendingSeq = msg.Seq
+		c.sendMsg(e.Owner, &coherence.Message{Type: coherence.MsgRecall, Addr: msg.Addr, Req: c.ID})
+	case coherence.DirPendingRecall, coherence.DirPendingInval:
+		c.reply(msg.Req, coherence.MsgNak, msg.Addr, msg.Seq, 0)
+	case coherence.DirIncoherent:
+		c.reply(msg.Req, coherence.MsgBusErr, msg.Addr, msg.Seq, 0)
+	}
+}
+
+// handlePut services a writeback at the home. The writeback carries the
+// only valid copy of the line (§3.2).
+func (c *Controller) handlePut(msg *coherence.Message) {
+	e := c.Dir.Lookup(msg.Addr)
+	if e == nil {
+		return // stale writeback for a reset line
+	}
+	if c.mode == ModeFlush || c.mode == ModeDrain {
+		// During recovery, writebacks are folded home without
+		// generating the replies a pending transaction would normally
+		// get (§4.4/§4.5); the aborted requester reissues afterwards
+		// and the directory sweep resets whatever remains.
+		if (e.State == coherence.DirExclusive && e.Owner == msg.Req) ||
+			(e.State == coherence.DirPendingRecall && e.Owner == msg.Req) {
+			c.Mem.Write(msg.Addr, msg.Data)
+			e.State = coherence.DirInvalid
+			c.Dir.Release(msg.Addr)
+		}
+		return
+	}
+	switch {
+	case e.State == coherence.DirExclusive && e.Owner == msg.Req:
+		c.Mem.Write(msg.Addr, msg.Data)
+		e.State = coherence.DirInvalid
+		c.Dir.Release(msg.Addr)
+	case e.State == coherence.DirPendingRecall && e.Owner == msg.Req:
+		// The recalled owner's data arrives; complete the waiting
+		// transaction.
+		c.Mem.Write(msg.Addr, msg.Data)
+		c.completeRecall(msg.Addr, e, msg.Data)
+	default:
+		// Stale PUT (e.g. crossing an invalidation); ignore.
+	}
+}
+
+// completeRecall finishes a pending-recall transaction with the line data.
+func (c *Controller) completeRecall(addr coherence.Addr, e *coherence.DirEntry, data uint64) {
+	req, seq := e.PendingReq, e.PendingSeq
+	if e.PendingExcl {
+		e.State = coherence.DirExclusive
+		e.Owner = req
+		c.reply(req, coherence.MsgDataExcl, addr, seq, data)
+	} else {
+		e.State = coherence.DirShared
+		e.Sharers.Clear()
+		e.Sharers.Add(req)
+		e.Owner = 0
+		c.reply(req, coherence.MsgDataShared, addr, seq, data)
+	}
+}
+
+// handleRecall services a home's recall at the owner.
+func (c *Controller) handleRecall(msg *coherence.Message) {
+	home := msg.Req // Recall carries the home in Req
+	if l := c.Cache.Invalidate(msg.Addr); l != nil {
+		c.sendMsg(home, &coherence.Message{
+			Type: coherence.MsgPut, Addr: msg.Addr, Req: c.ID, Data: l.Token,
+		})
+		return
+	}
+	// The recall may have overtaken our own exclusive grant (it travels
+	// on the request lane, the grant on the reply lane): merge it into
+	// the outstanding miss and answer when the grant arrives.
+	for _, m := range c.mshrs {
+		if !m.uncached && m.excl && m.addr == msg.Addr {
+			m.recalled = true
+			m.recallHome = home
+			return
+		}
+	}
+	// Not resident: our eviction writeback is already ahead of this
+	// reply in the same channel (in-order delivery).
+	c.sendMsg(home, &coherence.Message{Type: coherence.MsgRecallNak, Addr: msg.Addr, Req: c.ID})
+}
+
+// handleRecallNak resolves a recall whose target no longer held the line.
+// In-order delivery guarantees the owner's eviction PUT was processed
+// before this message, so a still-pending entry means the memory copy is
+// current.
+func (c *Controller) handleRecallNak(msg *coherence.Message) {
+	e := c.Dir.Lookup(msg.Addr)
+	if e == nil || e.State != coherence.DirPendingRecall || e.Owner != msg.Req {
+		return
+	}
+	c.completeRecall(msg.Addr, e, c.Mem.Read(msg.Addr))
+}
+
+// handleInval services an invalidation at a sharer. Sharers always ack,
+// even if the line was silently evicted. An invalidation that overtook an
+// in-flight shared grant marks the outstanding miss so the stale grant is
+// consumed without being cached.
+func (c *Controller) handleInval(msg *coherence.Message) {
+	home := msg.Req
+	c.Cache.Invalidate(msg.Addr)
+	for _, m := range c.mshrs {
+		if !m.uncached && !m.excl && m.addr == msg.Addr {
+			m.invalidated = true
+		}
+	}
+	c.sendMsg(home, &coherence.Message{Type: coherence.MsgInvAck, Addr: msg.Addr, Req: c.ID})
+}
+
+// handleInvAck counts invalidation acks at the home and grants the pending
+// exclusive request when the last one arrives.
+func (c *Controller) handleInvAck(msg *coherence.Message) {
+	e := c.Dir.Lookup(msg.Addr)
+	if e == nil || e.State != coherence.DirPendingInval {
+		return
+	}
+	e.AcksLeft--
+	if e.AcksLeft > 0 {
+		return
+	}
+	req, seq := e.PendingReq, e.PendingSeq
+	e.State = coherence.DirExclusive
+	e.Owner = req
+	c.reply(req, coherence.MsgDataExcl, msg.Addr, seq, c.Mem.Read(msg.Addr))
+}
+
+// handleReply completes (or retries) the requester's outstanding operation.
+func (c *Controller) handleReply(msg *coherence.Message) {
+	m, ok := c.mshrs[msg.Seq]
+	if !ok || m.addr != msg.Addr {
+		return // aborted or stale
+	}
+	switch msg.Type {
+	case coherence.MsgDataShared:
+		if m.invalidated {
+			// An invalidation overtook this grant: the load completes
+			// (it is ordered before the conflicting write) but the
+			// data must not linger in the cache.
+			c.completeMSHR(m, Result{Token: msg.Data})
+			return
+		}
+		c.install(msg.Addr, coherence.CacheShared, msg.Data)
+		c.completeMSHR(m, Result{Token: msg.Data})
+	case coherence.MsgDataExcl:
+		tok := msg.Data
+		if m.hasStore {
+			tok = m.storeTok
+		}
+		if m.recalled {
+			// A recall overtook this grant: honor it immediately by
+			// writing the line straight back home instead of caching.
+			c.sendMsg(m.recallHome, &coherence.Message{
+				Type: coherence.MsgPut, Addr: msg.Addr, Req: c.ID, Data: tok,
+			})
+			c.completeMSHR(m, Result{Token: tok})
+			return
+		}
+		c.install(msg.Addr, coherence.CacheExclusive, tok)
+		c.completeMSHR(m, Result{Token: tok})
+	case coherence.MsgNak:
+		c.Stats.NAKsReceived++
+		m.naks++
+		if m.naks >= c.cfg.NAKLimit {
+			// NAK counter overflow: likely deadlock after a failure
+			// (Table 4.1).
+			c.trigger(ReasonNAKOverflow)
+			return
+		}
+		c.Stats.Retries++
+		m.retry = c.E.After(c.cfg.NAKRetryDelay, func() {
+			if _, live := c.mshrs[m.seq]; live {
+				c.sendRequest(m)
+			}
+		})
+	case coherence.MsgBusErr:
+		c.completeMSHR(m, Result{Err: ErrBusError})
+	}
+}
+
+// handleUncached services an uncached operation at its target, enforcing
+// the cross-failure-unit access check for I/O device accesses (§3.3).
+func (c *Controller) handleUncached(msg *coherence.Message) {
+	if msg.IO && c.unit != nil && c.unit[msg.Req] != c.unit[c.ID] {
+		c.Stats.UncachedDenied++
+		c.sendMsg(msg.Req, &coherence.Message{Type: coherence.MsgUncachedErr, Req: msg.Req, Seq: msg.Seq})
+		return
+	}
+	var result any
+	var err error
+	if c.uncachedHandler != nil {
+		result, err = c.uncachedHandler(msg.Req, msg.UPayload)
+	}
+	ty := coherence.MsgUncachedReply
+	if err != nil {
+		ty = coherence.MsgUncachedErr
+	}
+	c.sendMsg(msg.Req, &coherence.Message{Type: ty, Req: msg.Req, Seq: msg.Seq, UPayload: result})
+}
+
+// handleUncachedReply completes an uncached operation at its issuer.
+func (c *Controller) handleUncachedReply(msg *coherence.Message) {
+	m, ok := c.mshrs[msg.Seq]
+	if !ok || !m.uncached {
+		return
+	}
+	if m.timeout != nil {
+		m.timeout.Cancel()
+	}
+	delete(c.mshrs, m.seq)
+	if m.ucb == nil {
+		return
+	}
+	if msg.Type == coherence.MsgUncachedErr {
+		m.ucb(nil, ErrBusError)
+		return
+	}
+	m.ucb(msg.UPayload, nil)
+}

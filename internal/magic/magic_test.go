@@ -1,0 +1,685 @@
+package magic
+
+import (
+	"testing"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/interconnect"
+	"flashfc/internal/sim"
+	"flashfc/internal/topology"
+)
+
+// testRig is a small machine: engine, fabric, and one controller per node
+// with its own directory/memory/cache.
+type testRig struct {
+	e     *sim.Engine
+	net   *interconnect.Network
+	space coherence.AddrSpace
+	ctrl  []*Controller
+}
+
+func newRig(t *testing.T, nodes int, cfg Config) *testRig {
+	t.Helper()
+	e := sim.NewEngine(1)
+	var topo *topology.Topology
+	switch nodes {
+	case 4:
+		topo = topology.NewMesh(2, 2)
+	case 8:
+		topo = topology.NewMesh(4, 2)
+	default:
+		topo = topology.NewMesh(nodes, 1)
+	}
+	net := interconnect.New(e, topo, interconnect.DefaultConfig())
+	space := coherence.AddrSpace{Nodes: nodes, MemBytes: 1 << 20}
+	r := &testRig{e: e, net: net, space: space}
+	for i := 0; i < nodes; i++ {
+		dir := coherence.NewDirectory(nodes)
+		mem := coherence.NewMemory(space.Base(i), space.MemBytes)
+		cache := coherence.NewCache(64 * 128)
+		r.ctrl = append(r.ctrl, New(e, net, i, space, dir, mem, cache, cfg))
+	}
+	return r
+}
+
+// read performs a blocking-style read and runs the engine to completion.
+func (r *testRig) read(t *testing.T, node int, addr coherence.Addr) Result {
+	t.Helper()
+	var res Result
+	done := false
+	r.ctrl[node].Read(addr, func(rr Result) { res = rr; done = true })
+	r.e.Run()
+	if !done {
+		t.Fatalf("read(%d, %v) never completed", node, addr)
+	}
+	return res
+}
+
+func (r *testRig) write(t *testing.T, node int, addr coherence.Addr, tok uint64) Result {
+	t.Helper()
+	var res Result
+	done := false
+	r.ctrl[node].Write(addr, tok, func(rr Result) { res = rr; done = true })
+	r.e.Run()
+	if !done {
+		t.Fatalf("write(%d, %v) never completed", node, addr)
+	}
+	return res
+}
+
+func TestLocalReadMiss(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	a := coherence.Addr(0x100) // homed on node 0
+	res := r.read(t, 0, a)
+	if res.Err != nil {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if res.Token != coherence.InitialToken(a) {
+		t.Fatalf("token = %x, want initial", res.Token)
+	}
+	// Second read is a cache hit.
+	ev0 := r.e.EventsFired()
+	res = r.read(t, 0, a)
+	if res.Err != nil || res.Token != coherence.InitialToken(a) {
+		t.Fatal("hit read broken")
+	}
+	if r.e.EventsFired()-ev0 > 3 {
+		t.Fatal("hit should not generate protocol traffic")
+	}
+}
+
+func TestRemoteReadAndWriteThroughDirectory(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	a := r.space.Base(2) + 0x80 // homed on node 2
+	if res := r.read(t, 0, a); res.Err != nil || res.Token != coherence.InitialToken(a.Line()) {
+		t.Fatalf("remote read broken: %+v", res)
+	}
+	// Node 1 writes: invalidates node 0's shared copy.
+	if res := r.write(t, 1, a, 42); res.Err != nil || res.Token != 42 {
+		t.Fatalf("remote write broken: %+v", res)
+	}
+	if r.ctrl[0].Cache.Lookup(a) != nil {
+		t.Fatal("sharer not invalidated")
+	}
+	e := r.ctrl[2].Dir.Lookup(a)
+	if e == nil || e.State != coherence.DirExclusive || e.Owner != 1 {
+		t.Fatalf("dir entry = %+v", e)
+	}
+	// Node 3 reads: recall from node 1, data flows through home.
+	if res := r.read(t, 3, a); res.Err != nil || res.Token != 42 {
+		t.Fatalf("read after write broken: %+v", res)
+	}
+	if r.ctrl[1].Cache.Lookup(a) != nil {
+		t.Fatal("recalled owner should have dropped the line")
+	}
+	if r.ctrl[2].Mem.Read(a) != 42 {
+		t.Fatal("memory not updated by recall writeback")
+	}
+}
+
+func TestWriteThenRemoteWrite(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	a := r.space.Base(3) + 0x200
+	r.write(t, 0, a, 7)
+	if res := r.write(t, 1, a, 8); res.Err != nil || res.Token != 8 {
+		t.Fatalf("second write: %+v", res)
+	}
+	if res := r.read(t, 2, a); res.Token != 8 {
+		t.Fatalf("read after two writes = %d, want 8", res.Token)
+	}
+}
+
+func TestSharedUpgrade(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	a := r.space.Base(1) + 0x300
+	r.read(t, 0, a)
+	r.read(t, 2, a)
+	// Node 0 upgrades its shared copy to exclusive; node 2 is invalidated.
+	if res := r.write(t, 0, a, 5); res.Err != nil {
+		t.Fatalf("upgrade: %+v", res)
+	}
+	if r.ctrl[2].Cache.Lookup(a) != nil {
+		t.Fatal("other sharer survived upgrade")
+	}
+	if res := r.read(t, 2, a); res.Token != 5 {
+		t.Fatalf("token after upgrade = %d", res.Token)
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	// Cache holds 64 lines; write 65 distinct remote lines to force an
+	// eviction writeback of the first.
+	base := r.space.Base(1)
+	for i := 0; i < 65; i++ {
+		r.write(t, 0, base+coherence.Addr(i*128), uint64(i+1))
+	}
+	if got := r.ctrl[0].Cache.Len(); got != 64 {
+		t.Fatalf("cache len = %d", got)
+	}
+	if tok := r.ctrl[1].Mem.Read(base); tok != 1 {
+		t.Fatalf("evicted line not written back: mem=%d", tok)
+	}
+	e := r.ctrl[1].Dir.Lookup(base)
+	if e != nil {
+		t.Fatalf("dir entry should be released after writeback, got %v", e.State)
+	}
+	// The line is readable with its written value.
+	if res := r.read(t, 1, base); res.Token != 1 {
+		t.Fatalf("read of evicted line = %d", res.Token)
+	}
+}
+
+func TestVectorRemapKeepsReferencesLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 4, cfg)
+	for i := range r.ctrl {
+		r.ctrl[i].Space.VectorTop = 0x1000
+	}
+	// A fetch of vector address 0x40 on node 2 must stay node-local even
+	// though address 0x40 is nominally homed on node 0 (§3.2).
+	res := r.read(t, 2, 0x40)
+	if res.Err != nil {
+		t.Fatalf("vector read: %v", res.Err)
+	}
+	want := r.space.Base(2) + 0x40
+	if r.ctrl[2].Cache.Lookup(want) == nil {
+		t.Fatal("vector line should be cached at its remapped local address")
+	}
+	if r.ctrl[0].Dir.Lookup(0x40) != nil {
+		t.Fatal("remapped reference must not touch node 0")
+	}
+}
+
+func TestNodeMapBusErrorsRequestsToDeadHomes(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	r.ctrl[0].SetNodeUp(3, false)
+	res := r.read(t, 0, r.space.Base(3))
+	if res.Err != ErrBusError {
+		t.Fatalf("err = %v, want bus error", res.Err)
+	}
+	if r.ctrl[0].Stats.BusErrors == 0 {
+		t.Fatal("bus error not counted")
+	}
+}
+
+func TestIncoherentLineBusErrors(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	a := r.space.Base(1) + 0x80
+	e := r.ctrl[1].Dir.Get(a)
+	e.State = coherence.DirIncoherent
+	if res := r.read(t, 0, a); res.Err != ErrBusError {
+		t.Fatalf("read of incoherent line: %+v", res)
+	}
+	if res := r.write(t, 2, a, 1); res.Err != ErrBusError {
+		t.Fatalf("write of incoherent line: %+v", res)
+	}
+	// Scrub clears it (§4.6).
+	if n := r.ctrl[1].ScrubPage(a); n != 1 {
+		t.Fatalf("scrubbed %d lines, want 1", n)
+	}
+	if res := r.read(t, 0, a); res.Err != nil {
+		t.Fatalf("read after scrub: %v", res.Err)
+	}
+}
+
+func TestFirewallDeniesRemoteExclusive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FirewallEnabled = true
+	r := newRig(t, 4, cfg)
+	units := []int{0, 0, 1, 1}
+	for _, c := range r.ctrl {
+		c.SetFailureUnits(units)
+	}
+	page := r.space.Base(0) // kernel page of node 0's cell
+	writers := coherence.NewNodeSet(4)
+	writers.Add(0)
+	writers.Add(1)
+	r.ctrl[0].SetFirewall(page, writers)
+
+	// Reads from anywhere are fine.
+	if res := r.read(t, 3, page+0x80); res.Err != nil {
+		t.Fatalf("firewalled read should succeed: %v", res.Err)
+	}
+	// Writes from outside the ACL are bus-errored (§3.3).
+	if res := r.write(t, 3, page+0x80, 9); res.Err != ErrBusError {
+		t.Fatalf("firewalled write: %+v", res)
+	}
+	if r.ctrl[0].Stats.FirewallDenied != 1 {
+		t.Fatal("FirewallDenied not counted")
+	}
+	// Writes from inside the ACL succeed.
+	if res := r.write(t, 1, page+0x80, 9); res.Err != nil {
+		t.Fatalf("allowed write failed: %v", res.Err)
+	}
+	// Other pages are unaffected.
+	if res := r.write(t, 3, page+0x2000, 5); res.Err != nil {
+		t.Fatalf("open page write failed: %v", res.Err)
+	}
+}
+
+func TestRangeCheckProtectsProtocolMemory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProtocolMemBytes = 0x10000
+	r := newRig(t, 4, cfg)
+	// Writes to the protocol region of any node's memory are denied.
+	if res := r.write(t, 0, r.space.Base(0)+0x100, 1); res.Err != ErrBusError {
+		t.Fatalf("local protocol write: %+v", res)
+	}
+	if r.ctrl[0].Stats.RangeDenied != 1 {
+		t.Fatal("RangeDenied not counted")
+	}
+	// Reads are allowed.
+	if res := r.read(t, 0, r.space.Base(0)+0x100); res.Err != nil {
+		t.Fatalf("protocol read: %v", res.Err)
+	}
+	// Writes above the region are allowed.
+	if res := r.write(t, 0, r.space.Base(0)+0x10000, 1); res.Err != nil {
+		t.Fatalf("normal write: %v", res.Err)
+	}
+}
+
+func TestTimeoutTriggersRecovery(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	var reason TriggerReason = -1
+	r.ctrl[0].SetTriggerHandler(func(tr TriggerReason) { reason = tr })
+	// Kill node 3's controller without updating node maps: requests
+	// vanish and the memory-operation timeout fires (Fig 4.3).
+	r.ctrl[3].SetMode(ModeDead)
+	r.ctrl[0].Read(r.space.Base(3), func(Result) {})
+	r.e.RunUntil(2 * sim.Millisecond)
+	if reason != ReasonTimeout {
+		t.Fatalf("reason = %v, want timeout", reason)
+	}
+}
+
+func TestNAKOverflowTriggersRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NAKLimit = 10
+	r := newRig(t, 4, cfg)
+	var reasons []TriggerReason
+	r.ctrl[2].SetTriggerHandler(func(tr TriggerReason) { reasons = append(reasons, tr) })
+	// Wedge a line in a pending state by making node 3 exclusive owner
+	// and then killing it silently mid-recall: the lock never releases.
+	// Node 0's GET becomes the pending request; node 2's GET is NAKed
+	// until its counter overflows (§3.2, Table 4.1).
+	a := r.space.Base(1) + 0x80
+	r.write(t, 3, a, 7)
+	r.ctrl[3].SetMode(ModeDead) // recall will be discarded
+	r.ctrl[0].Read(a, func(Result) {})
+	r.e.RunUntil(20 * sim.Microsecond)
+	r.ctrl[2].Read(a, func(Result) {})
+	r.e.RunUntil(5 * sim.Millisecond)
+	// The NAK counter overflows first; the abandoned operation's timeout
+	// may also fire later — the recovery agent deduplicates triggers.
+	if len(reasons) == 0 || reasons[0] != ReasonNAKOverflow {
+		t.Fatalf("reasons = %v, want NAK overflow first", reasons)
+	}
+	if r.ctrl[2].Stats.NAKsReceived == 0 {
+		t.Fatal("no NAKs observed")
+	}
+}
+
+func TestTruncatedPacketTriggersRecovery(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	var reason TriggerReason = -1
+	r.ctrl[0].SetTriggerHandler(func(tr TriggerReason) { reason = tr })
+	r.net.Send(&interconnect.Packet{
+		Src: 1, Dst: 0, Lane: interconnect.LaneReply, Bytes: 128,
+		Payload:   &coherence.Message{Type: coherence.MsgPut, Addr: 0, Req: 1},
+		Truncated: true,
+	})
+	r.e.Run()
+	if reason != ReasonTruncated {
+		t.Fatalf("reason = %v, want truncated", reason)
+	}
+}
+
+func TestAssertionTriggersRecovery(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	var reason TriggerReason = -1
+	r.ctrl[2].SetTriggerHandler(func(tr TriggerReason) { reason = tr })
+	r.ctrl[2].FailAssertion()
+	if reason != ReasonAssertion {
+		t.Fatalf("reason = %v, want assertion", reason)
+	}
+}
+
+func TestEnterRecoveryAbortsOutstanding(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	r.ctrl[3].SetMode(ModeDead)
+	var got error
+	r.ctrl[0].Read(r.space.Base(3), func(res Result) { got = res.Err })
+	r.e.RunUntil(10 * sim.Microsecond)
+	if r.ctrl[0].Outstanding() != 1 {
+		t.Fatal("request should be outstanding")
+	}
+	r.ctrl[0].EnterRecovery()
+	r.e.RunUntil(20 * sim.Microsecond)
+	if got != ErrAborted {
+		t.Fatalf("err = %v, want aborted", got)
+	}
+	if r.ctrl[0].Outstanding() != 0 {
+		t.Fatal("mshrs not cleared")
+	}
+	if r.ctrl[0].Mode() != ModeDrain {
+		t.Fatal("controller should be draining")
+	}
+}
+
+func TestDrainModeConsumesWithoutReplying(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	r.ctrl[1].SetMode(ModeDrain)
+	done := false
+	r.ctrl[0].Read(r.space.Base(1), func(Result) { done = true })
+	r.e.RunUntil(100 * sim.Microsecond)
+	if done {
+		t.Fatal("drain mode must not reply")
+	}
+	if r.ctrl[1].Stats.DroppedInMode == 0 {
+		t.Fatal("drained packet not counted")
+	}
+	if r.ctrl[1].LastNormalDelivery() == 0 {
+		t.Fatal("drain must record delivery times for the τ agreement")
+	}
+}
+
+func TestFlushModeAcceptsOnlyWritebacks(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	a := r.space.Base(1) + 0x80
+	r.write(t, 0, a, 99)
+	// Home 1 now has a stale memory copy and an exclusive dir entry.
+	r.ctrl[0].EnterRecovery()
+	r.ctrl[1].EnterRecovery()
+	r.e.Run()
+	r.ctrl[0].SetMode(ModeFlush)
+	r.ctrl[1].SetMode(ModeFlush)
+	if n := r.ctrl[0].FlushCache(); n != 1 {
+		t.Fatalf("flush sent %d writebacks, want 1", n)
+	}
+	r.e.Run()
+	if r.ctrl[1].Mem.Read(a) != 99 {
+		t.Fatal("flush writeback not folded into memory")
+	}
+	lost := r.ctrl[1].ScanDirectory()
+	if len(lost) != 0 {
+		t.Fatalf("scan marked %v incoherent after clean flush", lost)
+	}
+}
+
+func TestScanMarksLostLinesIncoherent(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	a := r.space.Base(1) + 0x80
+	r.write(t, 0, a, 99)
+	// Node 0 dies without flushing: its exclusive line is lost.
+	r.ctrl[0].SetMode(ModeDead)
+	r.ctrl[1].EnterRecovery()
+	r.e.Run()
+	r.ctrl[1].SetMode(ModeFlush)
+	r.e.Run()
+	lost := r.ctrl[1].ScanDirectory()
+	if len(lost) != 1 || lost[0] != a.Line() {
+		t.Fatalf("lost = %v, want [%v]", lost, a.Line())
+	}
+	r.ctrl[1].SetMode(ModeNormal)
+	if res := r.read(t, 1, a); res.Err != ErrBusError {
+		t.Fatalf("read of lost line: %+v", res)
+	}
+}
+
+func TestUncachedRoundTrip(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	r.ctrl[1].SetUncachedHandler(func(src int, payload any) (any, error) {
+		return payload.(int) * 2, nil
+	})
+	var got any
+	var gerr error
+	r.ctrl[0].SendUncached(1, true, false, 21, func(v any, err error) { got, gerr = v, err })
+	r.e.Run()
+	if gerr != nil || got != 42 {
+		t.Fatalf("uncached rpc: %v %v", got, gerr)
+	}
+}
+
+func TestUncachedCrossUnitDenied(t *testing.T) {
+	r := newRig(t, 4, DefaultConfig())
+	units := []int{0, 1, 1, 1}
+	for _, c := range r.ctrl {
+		c.SetFailureUnits(units)
+	}
+	r.ctrl[1].SetUncachedHandler(func(src int, payload any) (any, error) { return payload, nil })
+	var gerr error
+	done := false
+	r.ctrl[0].SendUncached(1, false, true, "x", func(v any, err error) { gerr = err; done = true })
+	r.e.Run()
+	if !done || gerr != ErrBusError {
+		t.Fatalf("cross-unit uncached op: done=%v err=%v", done, gerr)
+	}
+	if r.ctrl[1].Stats.UncachedDenied != 1 {
+		t.Fatal("UncachedDenied not counted")
+	}
+}
+
+func TestModeAndReasonStrings(t *testing.T) {
+	for m := ModeNormal; m <= ModeDead+1; m++ {
+		if m.String() == "" {
+			t.Fatal("empty mode string")
+		}
+	}
+	for r := ReasonTimeout; r <= ReasonFalseAlarm+1; r++ {
+		if r.String() == "" {
+			t.Fatal("empty reason string")
+		}
+	}
+	r := newRig(t, 2, DefaultConfig())
+	if r.ctrl[0].String() == "" {
+		t.Fatal("empty controller string")
+	}
+}
+
+func TestFirewallOverheadChargesOccupancy(t *testing.T) {
+	// Measure intercell write miss latency with and without the
+	// firewall; §6.2 reports the increase is below 7%.
+	measure := func(firewall bool) sim.Time {
+		cfg := DefaultConfig()
+		cfg.FirewallEnabled = firewall
+		r := newRig(t, 4, cfg)
+		units := []int{0, 0, 1, 1}
+		for _, c := range r.ctrl {
+			c.SetFailureUnits(units)
+		}
+		start := r.e.Now()
+		r.write(t, 2, r.space.Base(0)+0x80, 1)
+		return r.e.Now() - start
+	}
+	off := measure(false)
+	on := measure(true)
+	if on <= off {
+		t.Fatalf("firewall should add latency: off=%v on=%v", off, on)
+	}
+	frac := float64(on-off) / float64(off)
+	if frac >= 0.07 {
+		t.Fatalf("firewall overhead %.1f%% exceeds the paper's 7%% bound", frac*100)
+	}
+}
+
+func TestRecallRaceMergedIntoMiss(t *testing.T) {
+	// The recall-overtakes-grant race (§3.2's locking dance): node 3 has
+	// a GETX outstanding when the home's recall for the same line lands.
+	// The grant must be written straight back home instead of cached.
+	r := newRig(t, 4, DefaultConfig())
+	a := r.space.Base(1) + 0x80
+	// Stage: node 0 owns the line exclusive.
+	r.write(t, 0, a, 7)
+	// Node 3 writes: GETX -> home recalls node 0 -> grant to 3 with the
+	// recalled data; then node 2 writes: GETX -> recall to node 3. Run
+	// both concurrently so the recall can overtake.
+	done2, done3 := false, false
+	r.ctrl[3].Write(a, 8, func(res Result) { done3 = true })
+	r.ctrl[2].Write(a, 9, func(res Result) { done2 = true })
+	r.e.Run()
+	if !done2 || !done3 {
+		t.Fatal("writes did not complete")
+	}
+	// Whatever the interleaving, the final committed value must win and
+	// be readable coherently everywhere.
+	res := r.read(t, 1, a)
+	if res.Err != nil {
+		t.Fatalf("read: %v", res.Err)
+	}
+	if res.Token != 8 && res.Token != 9 {
+		t.Fatalf("token = %d, want one of the committed writes", res.Token)
+	}
+	// Memory and caches agree (no stale second copy).
+	for i, c := range r.ctrl {
+		if l := c.Cache.Lookup(a); l != nil && l.Token != res.Token &&
+			l.State == coherence.CacheExclusive {
+			t.Fatalf("node %d holds a conflicting exclusive copy: %d", i, l.Token)
+		}
+	}
+}
+
+func TestRecallNakResolvesFromMemory(t *testing.T) {
+	// An eviction writeback races the recall: the home must complete the
+	// waiting request from the (now current) memory copy.
+	r := newRig(t, 2, DefaultConfig())
+	base := r.space.Base(1)
+	// Fill node 0's cache so the first line gets evicted (64-line cache).
+	for i := 0; i < 64; i++ {
+		r.write(t, 0, base+coherence.Addr(i*128), uint64(i+1))
+	}
+	// Evict line 0 by writing one more, then immediately read it from
+	// node 1: if the recall finds it gone, a RecallNak resolves it.
+	done := false
+	var got Result
+	r.ctrl[0].Write(base+coherence.Addr(64*128), 99, func(Result) {})
+	r.ctrl[1].Read(base, func(res Result) { got = res; done = true })
+	r.e.Run()
+	if !done || got.Err != nil || got.Token != 1 {
+		t.Fatalf("read after eviction race: %+v", got)
+	}
+}
+
+func TestReadExclusiveGrantsWritableCopy(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	a := r.space.Base(1) + 0x80
+	var res Result
+	r.ctrl[0].ReadExclusive(a, func(rr Result) { res = rr })
+	r.e.Run()
+	if res.Err != nil || res.Token != coherence.InitialToken(a) {
+		t.Fatalf("read exclusive: %+v", res)
+	}
+	l := r.ctrl[0].Cache.Lookup(a)
+	if l == nil || l.State != coherence.CacheExclusive {
+		t.Fatal("line should be exclusive")
+	}
+}
+
+func TestOrphanGrantReturnedByFlush(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	a := r.space.Base(1) + 0x80
+	// Node 0 writes; the grant is in flight when recovery enters drain.
+	committed := false
+	r.ctrl[0].Write(a, 42, func(res Result) { committed = res.Err == nil })
+	// Run until the home has issued the grant but before it reaches the
+	// requester (grant issue ~300 ns, delivery ~450 ns on this rig).
+	r.e.RunUntil(380)
+	r.ctrl[0].EnterRecovery()
+	r.ctrl[1].EnterRecovery()
+	r.e.RunUntil(r.e.Now() + sim.Millisecond)
+	if committed {
+		t.Fatal("write should have been aborted")
+	}
+	if len(r.ctrl[0].Orphans()) != 1 {
+		t.Fatalf("orphans = %d, want 1", len(r.ctrl[0].Orphans()))
+	}
+	// Flush returns the orphan home; the sweep then finds nothing lost.
+	r.ctrl[0].SetMode(ModeFlush)
+	r.ctrl[1].SetMode(ModeFlush)
+	r.ctrl[0].FlushCache()
+	r.e.Run()
+	if lost := r.ctrl[1].ScanDirectory(); len(lost) != 0 {
+		t.Fatalf("scan marked %v after orphan return", lost)
+	}
+	if len(r.ctrl[0].Orphans()) != 0 {
+		t.Fatal("orphan stash should be empty after flush")
+	}
+}
+
+func TestSendUncachedToDeadNodeFailsFast(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	r.ctrl[0].SetNodeUp(1, false)
+	var gerr error
+	done := false
+	r.ctrl[0].SendUncached(1, true, false, "x", func(v any, err error) { gerr = err; done = true })
+	r.e.Run()
+	if !done || gerr != ErrBusError {
+		t.Fatalf("uncached to mapped-out node: done=%v err=%v", done, gerr)
+	}
+}
+
+func TestHandlerHooksRegistered(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	var dropped *coherence.Message
+	r.ctrl[0].SetDeadDropHandler(func(m *coherence.Message) { dropped = m })
+	r.ctrl[0].SetRecoveryHandler(func(p *interconnect.Packet) {})
+	r.ctrl[0].SetMode(ModeDead)
+	r.net.Send(&interconnect.Packet{
+		Src: 1, Dst: 0, Lane: interconnect.LaneReply, Bytes: 128,
+		Payload: &coherence.Message{Type: coherence.MsgPut, Addr: 0x80, Req: 1, Data: 5},
+	})
+	r.e.Run()
+	if dropped == nil || dropped.Type != coherence.MsgPut {
+		t.Fatal("dead-drop hook not invoked")
+	}
+	if !r.ctrl[0].NodeUp(1) {
+		t.Fatal("NodeUp default should be true")
+	}
+	// Clearing a firewall entry opens the page again.
+	w := coherence.NewNodeSet(2)
+	w.Add(0)
+	r.ctrl[0].SetFirewall(0, w)
+	r.ctrl[0].SetFirewall(0, nil)
+}
+
+func TestRecallNakDirect(t *testing.T) {
+	// Drive handleRecallNak's resolution path: home pending on a recall
+	// whose target legitimately evicted first.
+	r := newRig(t, 2, DefaultConfig())
+	a := r.space.Base(0) + 0x80
+	e := r.ctrl[0].Dir.Get(a)
+	e.State = coherence.DirPendingRecall
+	e.Owner = 1
+	e.PendingReq = 1
+	e.PendingExcl = false
+	e.PendingSeq = 77
+	r.ctrl[0].Mem.Write(a, 123)
+	// Deliver a RecallNak from node 1.
+	r.net.Send(&interconnect.Packet{
+		Src: 1, Dst: 0, Lane: interconnect.LaneReply, Bytes: 16,
+		Payload: &coherence.Message{Type: coherence.MsgRecallNak, Addr: a, Req: 1},
+	})
+	r.e.Run()
+	if e.State != coherence.DirShared || !e.Sharers.Has(1) {
+		t.Fatalf("entry after RecallNak: %v", e.State)
+	}
+}
+
+func TestStrayRepliesIgnored(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig())
+	// Replies and acks with no matching transaction must be harmless.
+	for _, ty := range []coherence.MsgType{
+		coherence.MsgDataShared, coherence.MsgDataExcl, coherence.MsgNak,
+		coherence.MsgBusErr, coherence.MsgInvAck, coherence.MsgRecallNak,
+		coherence.MsgPut, coherence.MsgUncachedReply,
+	} {
+		r.net.Send(&interconnect.Packet{
+			Src: 1, Dst: 0, Lane: interconnect.LaneReply, Bytes: 16,
+			Payload: &coherence.Message{Type: ty, Addr: 0x80, Req: 0, Seq: 9999},
+		})
+	}
+	r.e.Run()
+	if r.ctrl[0].Outstanding() != 0 {
+		t.Fatal("stray replies created state")
+	}
+}

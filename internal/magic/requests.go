@@ -1,0 +1,317 @@
+package magic
+
+import (
+	"sort"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/interconnect"
+)
+
+// Processor-side request path: cache hits, misses through the directory
+// protocol, NAK retry with counter overflow, memory-operation timeouts, and
+// uncached cross-node operations.
+
+// Read performs a processor load of addr, completing through cb.
+func (c *Controller) Read(addr coherence.Addr, cb func(Result)) {
+	c.access(addr, false, false, 0, cb)
+}
+
+// ReadExclusive fetches addr exclusive without modifying it (e.g. a
+// speculatively executed or soon-to-be-written line).
+func (c *Controller) ReadExclusive(addr coherence.Addr, cb func(Result)) {
+	c.access(addr, true, false, 0, cb)
+}
+
+// Write performs a processor store of token to addr, fetching the line
+// exclusive first if needed.
+func (c *Controller) Write(addr coherence.Addr, token uint64, cb func(Result)) {
+	c.access(addr, true, true, token, cb)
+}
+
+func (c *Controller) access(addr coherence.Addr, excl, hasStore bool, storeTok uint64, cb func(Result)) {
+	addr = c.Space.Remap(c.ID, addr).Line()
+	// Range check: the protocol-memory region is writable only by the
+	// local protocol processor (§3.3).
+	if excl && c.rangeDenied(addr) {
+		c.Stats.RangeDenied++
+		c.completeErr(cb, ErrBusError)
+		return
+	}
+	// L2 hit path.
+	if l := c.Cache.Lookup(addr); l != nil {
+		if !excl {
+			tok := l.Token
+			c.E.After(c.cfg.CacheHitTime, func() { cb(Result{Token: tok}) })
+			return
+		}
+		if l.State == coherence.CacheExclusive {
+			if hasStore {
+				l.Token = storeTok
+			}
+			tok := l.Token
+			c.E.After(c.cfg.CacheHitTime, func() { cb(Result{Token: tok}) })
+			return
+		}
+		// Shared→exclusive upgrade falls through to a GETX.
+	}
+	// Merge into an outstanding miss on the same line (one MSHR per
+	// line): a second concurrent grant would clobber the first one's
+	// freshly written data with the stale memory copy.
+	for _, m := range c.mshrs {
+		if !m.uncached && m.addr == addr {
+			m.waiters = append(m.waiters, waiterOp{
+				excl: excl, hasStore: hasStore, storeTok: storeTok, cb: cb,
+			})
+			return
+		}
+	}
+	// Miss path: consult the node map before sending (§3.1).
+	home := c.Space.Home(addr)
+	if !c.nodeUp[home] {
+		c.Stats.BusErrors++
+		c.completeErr(cb, ErrBusError)
+		return
+	}
+	m := &mshr{
+		seq: c.nextSeq(), addr: addr, excl: excl,
+		hasStore: hasStore, storeTok: storeTok, cb: cb,
+	}
+	c.mshrs[m.seq] = m
+	c.sendRequest(m)
+}
+
+func (c *Controller) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+func (c *Controller) completeErr(cb func(Result), err error) {
+	c.E.After(c.cfg.CacheHitTime, func() { cb(Result{Err: err}) })
+}
+
+// sendRequest (re)issues the coherence request for m and arms its timeout.
+func (c *Controller) sendRequest(m *mshr) {
+	ty := coherence.MsgGet
+	if m.excl {
+		ty = coherence.MsgGetX
+	}
+	home := c.Space.Home(m.addr)
+	c.sendMsg(home, &coherence.Message{Type: ty, Addr: m.addr, Req: c.ID, Seq: m.seq})
+	c.armTimeout(m)
+}
+
+func (c *Controller) armTimeout(m *mshr) {
+	if m.timeout != nil {
+		m.timeout.Cancel()
+	}
+	m.timeout = c.E.After(c.cfg.MemOpTimeout, func() {
+		if _, live := c.mshrs[m.seq]; !live {
+			return
+		}
+		c.Stats.Timeouts++
+		c.trigger(ReasonTimeout)
+	})
+}
+
+// sendMsg routes a protocol message to dst, applying the node map. It
+// reports whether the message was actually sent. A data-carrying message
+// suppressed by the node map is reported through the discard hook: its
+// content goes nowhere.
+func (c *Controller) sendMsg(dst int, msg *coherence.Message) bool {
+	if !c.nodeUp[dst] {
+		c.discarded(msg)
+		return false
+	}
+	lane := interconnect.LaneReply
+	if msg.Type.IsRequest() {
+		lane = interconnect.LaneRequest
+	}
+	c.Net.Send(&interconnect.Packet{
+		Src: c.ID, Dst: dst, Lane: lane,
+		Bytes: msg.Bytes(), Payload: msg,
+	})
+	return true
+}
+
+// completeMSHR finalizes an outstanding operation and replays any same-line
+// operations merged into it (most become cache hits).
+func (c *Controller) completeMSHR(m *mshr, res Result) {
+	if m.timeout != nil {
+		m.timeout.Cancel()
+	}
+	if m.retry != nil {
+		m.retry.Cancel()
+	}
+	delete(c.mshrs, m.seq)
+	if m.cb != nil {
+		m.cb(res)
+	}
+	for _, w := range m.waiters {
+		c.access(m.addr, w.excl, w.hasStore, w.storeTok, w.cb)
+	}
+}
+
+// install places granted data in the cache, writing back any exclusive
+// victim the installation displaces.
+func (c *Controller) install(addr coherence.Addr, st coherence.CacheState, token uint64) {
+	victim, ev := c.Cache.Install(addr, st, token)
+	if ev != nil && ev.State == coherence.CacheExclusive {
+		home := c.Space.Home(victim)
+		c.sendMsg(home, &coherence.Message{
+			Type: coherence.MsgPut, Addr: victim, Req: c.ID, Data: ev.Token,
+		})
+	}
+}
+
+// SendUncached issues an uncached read or write to node dst. Uncached
+// operations have exactly-once semantics: they are never retried; a timeout
+// triggers recovery instead (§3.3). io marks an access to an I/O device
+// register, which the target bus-errors when the sender is outside its
+// failure unit.
+func (c *Controller) SendUncached(dst int, write, io bool, payload any, cb func(any, error)) {
+	m := &mshr{seq: c.nextSeq(), uncached: true, udst: dst, uwrite: write, upayload: payload, ucb: cb}
+	c.mshrs[m.seq] = m
+	ty := coherence.MsgUncachedRead
+	if write {
+		ty = coherence.MsgUncachedWrite
+	}
+	if !c.sendMsg(dst, &coherence.Message{Type: ty, Req: c.ID, Seq: m.seq, UPayload: payload, IO: io}) {
+		delete(c.mshrs, m.seq)
+		c.E.After(c.cfg.CacheHitTime, func() { cb(nil, ErrBusError) })
+		return
+	}
+	c.armTimeout(m)
+}
+
+// EnterRecovery aborts all outstanding operations (pending cacheable
+// requests are NAKed back to the processor and reissued after recovery,
+// §4.2), empties the input queue, and switches to drain mode.
+//
+// Node-local transactions are rolled back cleanly: a grant that never left
+// this controller (home == requester) is undone in the directory, since
+// nothing was actually entrusted to the interconnect. Cross-node grants in
+// flight are genuinely at risk and are left to the P4 directory sweep.
+func (c *Controller) EnterRecovery() {
+	// Abort in issue order: the completion callbacks re-enter user code,
+	// and whole-machine determinism requires a deterministic order here.
+	seqs := make([]uint64, 0, len(c.mshrs))
+	for s := range c.mshrs {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		m := c.mshrs[s]
+		if !m.uncached && c.Space.Home(m.addr) == c.ID {
+			if e := c.Dir.Lookup(m.addr); e != nil &&
+				e.State == coherence.DirExclusive && e.Owner == c.ID &&
+				c.Cache.Lookup(m.addr) == nil {
+				e.State = coherence.DirInvalid
+				c.Dir.Release(m.addr)
+			}
+		}
+	}
+	for _, s := range seqs {
+		m := c.mshrs[s]
+		if m.timeout != nil {
+			m.timeout.Cancel()
+		}
+		if m.retry != nil {
+			m.retry.Cancel()
+		}
+		if m.cb != nil {
+			cb := m.cb
+			c.E.After(0, func() { cb(Result{Err: ErrAborted}) })
+		}
+		for _, w := range m.waiters {
+			cb := w.cb
+			if cb != nil {
+				c.E.After(0, func() { cb(Result{Err: ErrAborted}) })
+			}
+		}
+		if m.ucb != nil {
+			ucb := m.ucb
+			c.E.After(0, func() { ucb(nil, ErrAborted) })
+		}
+	}
+	c.mshrs = make(map[uint64]*mshr)
+	// Queued writebacks and exclusive grants are still fielded in drain
+	// mode (they carry data); everything else queued is consumed.
+	kept := c.input[:0]
+	for _, p := range c.input {
+		msg, ok := p.Payload.(*coherence.Message)
+		if ok && (msg.Type == coherence.MsgPut || msg.Type == coherence.MsgDataExcl) {
+			kept = append(kept, p)
+			continue
+		}
+		if ok {
+			c.discarded(msg)
+		}
+	}
+	c.input = kept
+	c.SetMode(ModeDrain)
+	c.process()
+}
+
+// Outstanding reports the number of in-flight processor operations.
+func (c *Controller) Outstanding() int { return len(c.mshrs) }
+
+// Orphans exposes the drain-mode grant stash; a node that shuts down
+// before flushing abandons these (the harness oracle counts them lost).
+func (c *Controller) Orphans() []*coherence.Message { return c.orphans }
+
+// FlushCache implements the P4 cache flush (§4.5): every exclusive line is
+// written back to its home (skipping homes the node map reports dead: those
+// lines are inaccessible anyway) and the cache is left empty. It returns the
+// number of writebacks sent.
+func (c *Controller) FlushCache() int {
+	addrs, lines := c.Cache.Flush()
+	sent := 0
+	for i, a := range addrs {
+		home := c.Space.Home(a)
+		if c.sendMsg(home, &coherence.Message{
+			Type: coherence.MsgPut, Addr: a, Req: c.ID, Data: lines[i].Token,
+		}) {
+			sent++
+		}
+	}
+	// Return orphaned exclusive grants stashed during the drain: their
+	// data never reached a cache, so the home's memory copy must be
+	// refreshed from the grant before the directory sweep.
+	for _, o := range c.orphans {
+		home := c.Space.Home(o.Addr)
+		if c.sendMsg(home, &coherence.Message{
+			Type: coherence.MsgPut, Addr: o.Addr, Req: c.ID, Data: o.Data,
+		}) {
+			sent++
+		}
+	}
+	c.orphans = nil
+	return sent
+}
+
+// ScanDirectory implements the P4 directory sweep (§4.5) and returns the
+// lines newly marked incoherent.
+func (c *Controller) ScanDirectory() []coherence.Addr { return c.Dir.Scan() }
+
+// ScanDirectoryLiveness is the flush-free sweep used with a reliable
+// interconnect (§6.3): liveness comes from the freshly updated node map.
+func (c *Controller) ScanDirectoryLiveness() []coherence.Addr {
+	return c.Dir.ScanLiveness(func(n int) bool { return c.nodeUp[n] })
+}
+
+// ScrubPage resets the coherence state of any incoherent lines in the page,
+// the MAGIC service Hive uses before reusing a page (§4.6). Scrubbed lines
+// are reinitialized (the page is about to be reused with fresh content).
+// It returns the number of lines scrubbed.
+func (c *Controller) ScrubPage(page coherence.Addr) int {
+	page = page.Page()
+	n := 0
+	for off := coherence.Addr(0); off < 4096; off += 128 {
+		a := page + off
+		if c.Dir.Scrub(a) {
+			c.Mem.Write(a, coherence.InitialToken(a))
+			n++
+		}
+	}
+	return n
+}

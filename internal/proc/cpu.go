@@ -1,0 +1,130 @@
+// Package proc models the main processor of a FLASH node at the level the
+// fault-containment experiments need: a windowed issue engine for memory
+// operations (the R10000 sustains several outstanding misses), pause/resume
+// for recovery (during which the recovery agent owns the processor), and an
+// optional wrong-path speculation mode that issues exclusive fetches the
+// program never meant to make (§3.1, §3.3).
+package proc
+
+import (
+	"flashfc/internal/coherence"
+	"flashfc/internal/magic"
+	"flashfc/internal/sim"
+)
+
+// OpKind is the kind of a memory operation.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpReadExclusive
+	OpWrite
+)
+
+// Op is one memory operation submitted to the CPU.
+type Op struct {
+	Kind  OpKind
+	Addr  coherence.Addr
+	Token uint64 // OpWrite only
+	// Done receives the completion. May be nil.
+	Done func(magic.Result)
+}
+
+// Stats counts processor-level events.
+type Stats struct {
+	Issued    uint64
+	Completed uint64
+	BusErrors uint64
+	Aborted   uint64
+}
+
+// CPU issues memory operations through the node's MAGIC controller with a
+// bounded number outstanding.
+type CPU struct {
+	ID     int
+	E      *sim.Engine
+	Ctrl   *magic.Controller
+	Window int
+
+	inflight int
+	queue    []Op
+	paused   bool
+	// onDrained fires once when paused and the last in-flight op ends.
+	onDrained func()
+
+	Stats Stats
+}
+
+// New returns a CPU with the given outstanding-operation window.
+func New(e *sim.Engine, ctrl *magic.Controller, window int) *CPU {
+	return &CPU{ID: ctrl.ID, E: e, Ctrl: ctrl, Window: window}
+}
+
+// Submit queues an operation for issue.
+func (c *CPU) Submit(op Op) {
+	c.queue = append(c.queue, op)
+	c.issue()
+}
+
+// QueueLen reports operations waiting to issue.
+func (c *CPU) QueueLen() int { return len(c.queue) }
+
+// Inflight reports operations issued but not completed.
+func (c *CPU) Inflight() int { return c.inflight }
+
+// Pause stops issuing new operations (recovery owns the processor).
+// Already-issued operations are completed or aborted by the controller.
+func (c *CPU) Pause() { c.paused = true }
+
+// Resume restarts issue after recovery.
+func (c *CPU) Resume() {
+	c.paused = false
+	c.issue()
+}
+
+// Paused reports whether the CPU is paused.
+func (c *CPU) Paused() bool { return c.paused }
+
+func (c *CPU) issue() {
+	for !c.paused && c.inflight < c.Window && len(c.queue) > 0 {
+		op := c.queue[0]
+		c.queue = c.queue[1:]
+		c.inflight++
+		c.Stats.Issued++
+		done := func(res magic.Result) {
+			c.inflight--
+			c.Stats.Completed++
+			switch res.Err {
+			case magic.ErrBusError:
+				c.Stats.BusErrors++
+			case magic.ErrAborted:
+				c.Stats.Aborted++
+			}
+			if op.Done != nil {
+				op.Done(res)
+			}
+			if c.paused && c.inflight == 0 && c.onDrained != nil {
+				fn := c.onDrained
+				c.onDrained = nil
+				fn()
+			}
+			c.issue()
+		}
+		switch op.Kind {
+		case OpRead:
+			c.Ctrl.Read(op.Addr, done)
+		case OpReadExclusive:
+			c.Ctrl.ReadExclusive(op.Addr, done)
+		case OpWrite:
+			c.Ctrl.Write(op.Addr, op.Token, done)
+		}
+	}
+}
+
+// Speculate issues a wrong-path exclusive fetch of addr whose result is
+// discarded: the §3.3 hazard where incorrect speculation pulls an arbitrary
+// line exclusive into a cache that may subsequently fail.
+func (c *CPU) Speculate(addr coherence.Addr) {
+	c.Stats.Issued++
+	c.Ctrl.ReadExclusive(addr, func(magic.Result) { c.Stats.Completed++ })
+}

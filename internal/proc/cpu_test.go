@@ -1,0 +1,132 @@
+package proc
+
+import (
+	"testing"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/interconnect"
+	"flashfc/internal/magic"
+	"flashfc/internal/sim"
+	"flashfc/internal/topology"
+)
+
+func newCPU(t *testing.T) (*sim.Engine, *CPU, *magic.Controller) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	topo := topology.NewMesh(2, 1)
+	net := interconnect.New(e, topo, interconnect.DefaultConfig())
+	space := coherence.AddrSpace{Nodes: 2, MemBytes: 64 << 10}
+	var ctrls []*magic.Controller
+	for i := 0; i < 2; i++ {
+		ctrls = append(ctrls, magic.New(e, net, i, space,
+			coherence.NewDirectory(2),
+			coherence.NewMemory(space.Base(i), space.MemBytes),
+			coherence.NewCache(64*128), magic.DefaultConfig()))
+	}
+	return e, New(e, ctrls[0], 2), ctrls[0]
+}
+
+func TestWindowLimitsInflight(t *testing.T) {
+	e, cpu, _ := newCPU(t)
+	done := 0
+	for i := 0; i < 6; i++ {
+		cpu.Submit(Op{Kind: OpRead, Addr: coherence.Addr(i * 128), Done: func(magic.Result) { done++ }})
+	}
+	if cpu.Inflight() != 2 {
+		t.Fatalf("inflight = %d, want window of 2", cpu.Inflight())
+	}
+	if cpu.QueueLen() != 4 {
+		t.Fatalf("queued = %d, want 4", cpu.QueueLen())
+	}
+	e.Run()
+	if done != 6 {
+		t.Fatalf("done = %d, want 6", done)
+	}
+	if cpu.Stats.Issued != 6 || cpu.Stats.Completed != 6 {
+		t.Fatalf("stats = %+v", cpu.Stats)
+	}
+}
+
+func TestPauseStopsIssue(t *testing.T) {
+	e, cpu, _ := newCPU(t)
+	cpu.Pause()
+	done := 0
+	cpu.Submit(Op{Kind: OpRead, Addr: 0, Done: func(magic.Result) { done++ }})
+	e.Run()
+	if done != 0 || cpu.Inflight() != 0 || cpu.QueueLen() != 1 {
+		t.Fatalf("paused CPU issued work: done=%d inflight=%d queue=%d",
+			done, cpu.Inflight(), cpu.QueueLen())
+	}
+	if !cpu.Paused() {
+		t.Fatal("Paused() wrong")
+	}
+	cpu.Resume()
+	e.Run()
+	if done != 1 {
+		t.Fatalf("done after resume = %d", done)
+	}
+}
+
+func TestWriteAndReadExclusive(t *testing.T) {
+	e, cpu, ctrl := newCPU(t)
+	var res magic.Result
+	cpu.Submit(Op{Kind: OpWrite, Addr: 0x100, Token: 42, Done: func(r magic.Result) { res = r }})
+	e.Run()
+	if res.Err != nil || res.Token != 42 {
+		t.Fatalf("write: %+v", res)
+	}
+	l := ctrl.Cache.Lookup(0x100)
+	if l == nil || l.State != coherence.CacheExclusive || l.Token != 42 {
+		t.Fatalf("cache line: %+v", l)
+	}
+	cpu.Submit(Op{Kind: OpReadExclusive, Addr: 0x200, Done: func(r magic.Result) { res = r }})
+	e.Run()
+	if res.Err != nil {
+		t.Fatalf("read exclusive: %+v", res)
+	}
+	if ctrl.Cache.Lookup(0x200).State != coherence.CacheExclusive {
+		t.Fatal("line not exclusive")
+	}
+}
+
+func TestBusErrorCounted(t *testing.T) {
+	e, cpu, ctrl := newCPU(t)
+	ctrl.SetNodeUp(1, false)
+	var got error
+	cpu.Submit(Op{Kind: OpRead, Addr: coherence.Addr(64 << 10), Done: func(r magic.Result) { got = r.Err }})
+	e.Run()
+	if got != magic.ErrBusError {
+		t.Fatalf("err = %v", got)
+	}
+	if cpu.Stats.BusErrors != 1 {
+		t.Fatalf("stats = %+v", cpu.Stats)
+	}
+}
+
+func TestSpeculateDiscardsResult(t *testing.T) {
+	e, cpu, ctrl := newCPU(t)
+	cpu.Speculate(0x300)
+	e.Run()
+	// The wrong-path fetch still pulled the line exclusive — the §3.3
+	// hazard the firewall exists to contain.
+	l := ctrl.Cache.Lookup(0x300)
+	if l == nil || l.State != coherence.CacheExclusive {
+		t.Fatal("speculative fetch should install the line exclusive")
+	}
+}
+
+func TestAbortedCounted(t *testing.T) {
+	e, cpu, ctrl := newCPU(t)
+	var got error
+	// A remote read that will be aborted by recovery entry.
+	cpu.Submit(Op{Kind: OpRead, Addr: coherence.Addr(64<<10) + 0x80, Done: func(r magic.Result) { got = r.Err }})
+	e.RunUntil(10) // issued, not yet complete
+	ctrl.EnterRecovery()
+	e.RunUntil(e.Now() + sim.Millisecond)
+	if got != magic.ErrAborted {
+		t.Fatalf("err = %v", got)
+	}
+	if cpu.Stats.Aborted != 1 {
+		t.Fatalf("stats = %+v", cpu.Stats)
+	}
+}

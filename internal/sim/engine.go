@@ -1,0 +1,200 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every other component in flashfc. Time is modeled in integer
+// nanoseconds; events scheduled for the same instant fire in the order they
+// were scheduled, which makes whole-machine runs bit-for-bit reproducible for
+// a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations, mirroring time.Duration style constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit, e.g. "1.5ms" or "320ns".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// event is a single scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // tiebreaker: FIFO among same-time events
+	fn     func()
+	cancel bool
+	index  int // heap index, -1 when popped
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// stream is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsFired reports how many events have executed so far; useful for
+// simulator performance accounting in benchmarks.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending reports how many events are still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer identifies a scheduled event so that it can be canceled.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Canceling an
+// already-fired or already-canceled timer is a no-op. It reports whether the
+// callback was actually prevented.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// that is always a model bug.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop aborts the current Run/RunUntil after the currently executing event
+// returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the next event. It reports false when the queue is empty.
+func (e *Engine) step(limit Time, bounded bool) bool {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if bounded && next.at > limit {
+			e.now = limit
+			return false
+		}
+		heap.Pop(&e.events)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step(0, false) {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. It stops early if Stop is called.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && e.step(t, true) {
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}

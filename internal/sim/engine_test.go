@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{320, "320ns"},
+		{Microsecond + 500, "1.500us"},
+		{Millisecond, "1.000ms"},
+		{150 * Millisecond, "150.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestAfterOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.After(10, func() { order = append(order, 1) })
+	e.After(5, func() { order = append(order, 0) })
+	e.After(10, func() { order = append(order, 2) }) // same time: FIFO
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2]", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) < 5 {
+			e.After(7, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	want := []Time{0, 7, 14, 21, 28}
+	for i, w := range want {
+		if ticks[i] != w {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.After(10, func() { fired++ })
+	e.After(20, func() { fired++ })
+	e.After(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", e.Now())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(10, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	var tm *Timer
+	tm = e.After(10, func() {})
+	e.Run()
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.After(Time(i), func() {
+			n++
+			if n == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	// Run can be resumed after Stop.
+	e.Run()
+	if n != 10 {
+		t.Fatalf("after resume n = %d, want 10", n)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine(seed)
+		var log []Time
+		for i := 0; i < 100; i++ {
+			d := Time(e.Rand().Intn(1000))
+			e.After(d, func() { log = append(log, e.Now()) })
+		}
+		e.Run()
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine(1)
+	t1 := e.After(10, func() {})
+	e.After(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	t1.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of the
+// insertion order.
+func TestQuickMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil never executes an event scheduled after the limit.
+func TestQuickRunUntilBound(t *testing.T) {
+	f := func(delays []uint16, limit uint16) bool {
+		e := NewEngine(7)
+		ok := true
+		for _, d := range delays {
+			d := d
+			e.After(Time(d), func() {
+				if Time(d) > Time(limit) {
+					ok = false
+				}
+			})
+		}
+		e.RunUntil(Time(limit))
+		return ok && e.Now() == Time(limit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if s.String() == "" || Summarize(nil).String() != "n=0" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.Std != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := map[float64]float64{0: 10, 100: 40, 50: 25, 25: 17.5}
+	for p, want := range cases {
+		if got := Percentile(sorted, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample should panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+// Property: min <= median <= max, mean within [min, max], and the summary
+// is permutation-invariant.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		if !(s.Min <= s.Median && s.Median <= s.Max) {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		shuffled := append([]float64(nil), clean...)
+		sort.Float64s(shuffled)
+		s2 := Summarize(shuffled)
+		return math.Abs(s.Mean-s2.Mean) < 1e-9 && s.Min == s2.Min && s.Max == s2.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("nodes", "total-ms")
+	tb.AddRow("8", "13.9")
+	tb.AddRow("128", "90.8", "extra-dropped")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "nodes") || !strings.Contains(lines[2], "90.8") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	if strings.Contains(out, "extra-dropped") {
+		t.Fatal("overflow cell should be dropped")
+	}
+}

@@ -1,0 +1,95 @@
+// Package trace collects a timestamped event timeline from a simulated
+// machine: fault injections, per-node recovery phase transitions, recovery
+// completions and OS-level events. The timeline is what the cmd/flashsim
+// -trace flag prints, and what tests use to assert event ordering.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flashfc/internal/sim"
+)
+
+// Kind classifies timeline events.
+type Kind string
+
+const (
+	KindFault    Kind = "fault"
+	KindTrigger  Kind = "trigger"
+	KindPhase    Kind = "phase"
+	KindComplete Kind = "complete"
+	KindOS       Kind = "os"
+	KindNote     Kind = "note"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	T      sim.Time
+	Node   int // -1 for machine-wide events
+	Kind   Kind
+	Detail string
+}
+
+func (e Event) String() string {
+	who := "machine"
+	if e.Node >= 0 {
+		who = fmt.Sprintf("node %d", e.Node)
+	}
+	return fmt.Sprintf("%12v  %-8s %-9s %s", e.T, who, e.Kind, e.Detail)
+}
+
+// Tracer accumulates events up to a limit (0 = unlimited).
+type Tracer struct {
+	Limit   int
+	events  []Event
+	dropped int
+}
+
+// New returns a tracer retaining at most limit events (0 = unlimited).
+func New(limit int) *Tracer { return &Tracer{Limit: limit} }
+
+// Record appends an event.
+func (t *Tracer) Record(ts sim.Time, node int, kind Kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if t.Limit > 0 && len(t.events) >= t.Limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{T: ts, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded timeline in chronological order.
+func (t *Tracer) Events() []Event {
+	out := append([]Event(nil), t.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// ByKind returns the events of one kind, chronologically.
+func (t *Tracer) ByKind(k Kind) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len reports recorded events; Dropped reports events lost to the limit.
+func (t *Tracer) Len() int     { return len(t.events) }
+func (t *Tracer) Dropped() int { return t.dropped }
+
+// Dump writes the timeline to w.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(w, "(%d events dropped by the %d-event limit)\n", t.dropped, t.Limit)
+	}
+}

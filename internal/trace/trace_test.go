@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"flashfc/internal/sim"
+)
+
+func TestRecordAndOrder(t *testing.T) {
+	tr := New(0)
+	tr.Record(30, 1, KindPhase, "P2")
+	tr.Record(10, -1, KindFault, "node failure")
+	tr.Record(20, 0, KindTrigger, "timeout")
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Kind != KindFault || evs[1].Kind != KindTrigger || evs[2].Kind != KindPhase {
+		t.Fatalf("ordering wrong: %v", evs)
+	}
+	if tr.Len() != 3 || tr.Dropped() != 0 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestLimitDrops(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(sim.Time(i), 0, KindNote, "e%d", i)
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	var b strings.Builder
+	tr.Dump(&b)
+	if !strings.Contains(b.String(), "3 events dropped") {
+		t.Fatalf("dump: %q", b.String())
+	}
+}
+
+func TestByKindAndNilSafety(t *testing.T) {
+	tr := New(0)
+	tr.Record(1, 0, KindPhase, "a")
+	tr.Record(2, 0, KindOS, "b")
+	tr.Record(3, 1, KindPhase, "c")
+	if got := tr.ByKind(KindPhase); len(got) != 2 {
+		t.Fatalf("ByKind = %v", got)
+	}
+	var nilTr *Tracer
+	nilTr.Record(1, 0, KindNote, "ignored") // must not panic
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: sim.Millisecond, Node: 3, Kind: KindPhase, Detail: "P4"}
+	if !strings.Contains(e.String(), "node 3") {
+		t.Fatalf("event string: %q", e.String())
+	}
+	e.Node = -1
+	if !strings.Contains(e.String(), "machine") {
+		t.Fatalf("machine event string: %q", e.String())
+	}
+}

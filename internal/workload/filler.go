@@ -1,0 +1,104 @@
+// Package workload provides the programs the experiments run on simulated
+// FLASH machines: the stand-alone cache-fill validation program of §5.2 and
+// (in parallelmake.go) the Hive parallel-make model of §5.1.
+package workload
+
+import (
+	"math/rand"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/machine"
+	"flashfc/internal/magic"
+	"flashfc/internal/proc"
+)
+
+// Filler is the §5.2 validation program: every processor fills half its
+// cache with lines chosen at random from the valid address range, each
+// fetched in shared or exclusive mode at random (exclusive fetches store a
+// fresh token half the time, to give writebacks something to carry).
+type Filler struct {
+	M *machine.Machine
+	// FillLines is the number of lines each node touches (default: half
+	// the cache capacity, as in the paper).
+	FillLines int
+	// WriteFraction is the probability an exclusive fetch also stores.
+	WriteFraction float64
+
+	// OnHalfDone fires once when half of the fill operations have
+	// completed — the moment the validation experiments inject their
+	// fault, so that real transactions are in flight (§5.2).
+	OnHalfDone func()
+
+	rng      *rand.Rand
+	pending  int
+	total    int
+	halfSeen bool
+	done     func()
+}
+
+// NewFiller returns a filler for m with paper defaults.
+func NewFiller(m *machine.Machine) *Filler {
+	return &Filler{
+		M:             m,
+		FillLines:     m.Nodes[0].Cache.CapacityLines() / 2,
+		WriteFraction: 0.5,
+		rng:           rand.New(rand.NewSource(m.Cfg.Seed + 0x5eed)),
+	}
+}
+
+// Start submits the fill operations on every node; done fires when all
+// processors have completed their fills.
+func (f *Filler) Start(done func()) {
+	f.done = done
+	totalLines := uint64(f.M.Cfg.Nodes) * f.M.Cfg.MemBytes / 128
+	for _, n := range f.M.Nodes {
+		for i := 0; i < f.FillLines; i++ {
+			line := coherence.Addr(uint64(f.rng.Int63n(int64(totalLines))) * 128)
+			f.pending++
+			op := proc.Op{Kind: proc.OpRead, Addr: line, Done: f.complete(line, 0)}
+			if f.rng.Intn(2) == 0 {
+				if f.rng.Float64() < f.WriteFraction {
+					tok := f.M.Oracle.NextToken()
+					op = proc.Op{Kind: proc.OpWrite, Addr: line, Token: tok, Done: f.complete(line, tok)}
+				} else {
+					op = proc.Op{Kind: proc.OpReadExclusive, Addr: line, Done: f.complete(line, 0)}
+				}
+			}
+			n.CPU.Submit(op)
+		}
+	}
+	f.total = f.pending
+	if f.pending == 0 {
+		done()
+	}
+}
+
+func (f *Filler) complete(line coherence.Addr, tok uint64) func(magic.Result) {
+	return func(r magic.Result) {
+		if r.Err == nil && tok != 0 {
+			// The store committed: it is now the expected content.
+			f.M.Oracle.Wrote(line, tok)
+		}
+		f.pending--
+		if !f.halfSeen && f.pending <= f.total/2 {
+			f.halfSeen = true
+			if f.OnHalfDone != nil {
+				f.OnHalfDone()
+			}
+		}
+		if f.pending == 0 && f.done != nil {
+			d := f.done
+			f.done = nil
+			d()
+		}
+	}
+}
+
+// Pending reports fill operations still outstanding.
+func (f *Filler) Pending() int { return f.pending }
+
+// TouchOp builds a single read of node target's memory: the minimal probe
+// that makes a quiet fault observable (Fig 4.3's request-to-failed-node).
+func TouchOp(m *machine.Machine, target int) proc.Op {
+	return proc.Op{Kind: proc.OpRead, Addr: m.Space.Base(target) + 0x80}
+}
