@@ -107,7 +107,7 @@ func benchFig56L2(b *testing.B, l2 uint64) {
 	b.Helper()
 	var wb, p4 float64
 	for i := 0; i < b.N; i++ {
-		p := flashfc.RunFig56L2([]uint64{l2}, int64(i+1))[0]
+		p := flashfc.RunFig56L2([]uint64{l2}, int64(i+1), 1)[0]
 		wb += p.Phases.WB.Milliseconds()
 		p4 += p.Phases.P4Time().Milliseconds()
 	}
@@ -123,7 +123,7 @@ func benchFig56Mem(b *testing.B, mem uint64) {
 	b.Helper()
 	var scan, p4 float64
 	for i := 0; i < b.N; i++ {
-		p := flashfc.RunFig56Mem([]uint64{mem}, int64(i+1))[0]
+		p := flashfc.RunFig56Mem([]uint64{mem}, int64(i+1), 1)[0]
 		scan += p.Phases.Scan.Milliseconds()
 		p4 += p.Phases.P4Time().Milliseconds()
 	}
@@ -141,7 +141,7 @@ func benchFig57(b *testing.B, cells int) {
 	b.Helper()
 	var hw, hwos float64
 	for i := 0; i < b.N; i++ {
-		pts := flashfc.RunFig57([]int{cells}, 2<<20, 256<<10, int64(i+1))
+		pts := flashfc.RunFig57([]int{cells}, 2<<20, 256<<10, int64(i+1), 1)
 		if !pts[0].OK {
 			b.Fatal("run failed")
 		}
@@ -155,6 +155,59 @@ func benchFig57(b *testing.B, cells int) {
 func BenchmarkFig5_7_Cells2(b *testing.B)  { benchFig57(b, 2) }
 func BenchmarkFig5_7_Cells8(b *testing.B)  { benchFig57(b, 8) }
 func BenchmarkFig5_7_Cells16(b *testing.B) { benchFig57(b, 16) }
+
+// --- Parallel campaign runner: sequential vs parallel wall clock --------------
+
+// benchCampaign runs a fixed 16-run validation campaign per iteration on
+// the given worker count. Comparing the Workers1/Workers4 ns/op shows the
+// runner's wall-clock speedup on a multi-core host (the results themselves
+// are bit-identical by construction — the campaign checks so here).
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	cfg.FillLines = 48
+	cfg.Workers = workers
+	var eventsPerSec float64
+	for i := 0; i < b.N; i++ {
+		results, stats := flashfc.RunValidationBatch(cfg, flashfc.NodeFailure, 16, int64(i+1))
+		for _, r := range results {
+			if r.Err != nil || !r.Value.OK() {
+				b.Fatalf("campaign run failed: %v", r.Err)
+			}
+		}
+		eventsPerSec += stats.EventsPerSec()
+	}
+	b.ReportMetric(eventsPerSec/float64(b.N)/1e6, "sim-Mevents/s")
+}
+
+func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaign(b, 1) }
+func BenchmarkCampaignWorkers2(b *testing.B) { benchCampaign(b, 2) }
+func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaign(b, 4) }
+func BenchmarkCampaignWorkers8(b *testing.B) { benchCampaign(b, 8) }
+
+// BenchmarkCampaignTable53 measures the whole Table 5.3 regeneration (all
+// five fault types) at the host's full parallelism — the headline number
+// for "regenerate the paper's evaluation as fast as the hardware allows".
+func BenchmarkCampaignTable53(b *testing.B) {
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	cfg.FillLines = 48
+	cfg.Workers = 0 // one per CPU
+	var eventsPerSec float64
+	for i := 0; i < b.N; i++ {
+		rows, stats := flashfc.RunTable53(cfg, 4, int64(i+1))
+		for _, row := range rows {
+			if row.Failed != 0 {
+				b.Fatalf("%v: %d failed", row.Fault, row.Failed)
+			}
+		}
+		eventsPerSec += stats.EventsPerSec()
+	}
+	b.ReportMetric(eventsPerSec/float64(b.N)/1e6, "sim-Mevents/s")
+}
 
 // --- §6.2: firewall normal-mode cost ------------------------------------------
 

@@ -6,12 +6,17 @@
 //	figures -fig 5.7            end-to-end suspension time vs machine size
 //	figures -fig ablations      §4.2 / §4.3 / §6.2 / §6.3 optimization measurements
 //	figures -fig dist           recovery-time distributions across random faults
+//
+// The points of each sweep are independent simulations; -parallel N
+// measures them on N workers (default: one per CPU) with bit-identical
+// results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"flashfc"
 )
@@ -20,60 +25,71 @@ func main() {
 	fig := flag.String("fig", "5.5", "figure to regenerate: 5.5, 5.6, 5.7, ablations")
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (16 MB/node for 5.7)")
+	parallel := flag.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU)")
 	flag.Parse()
 
 	switch *fig {
 	case "5.5":
-		fig55(*seed)
+		fig55(*seed, *parallel)
 	case "5.6":
-		fig56(*seed)
+		fig56(*seed, *parallel)
 	case "5.7":
-		fig57(*seed, *full)
+		fig57(*seed, *full, *parallel)
 	case "ablations":
 		ablations(*seed)
 	case "dist":
-		dist()
+		dist(*parallel)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
 }
 
-func fig55(seed int64) {
+func fig55(seed int64, parallel int) {
+	start := time.Now()
 	fmt.Println("Fig 5.5 — total hardware recovery times (1 MB memory/node, 1 MB L2)")
 	fmt.Println("\nmesh topology:")
 	fmt.Printf("%6s %12s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "P1,2,3", "total", "rounds")
 	nodes := []int{2, 8, 16, 32, 64, 128}
-	for _, p := range flashfc.RunFig55(nodes, flashfc.TopoMesh, seed) {
+	var events uint64
+	for _, p := range flashfc.RunFig55(nodes, flashfc.TopoMesh, seed, parallel) {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %12v %8d\n",
 			p.Nodes, ph.P1, ph.P12, ph.P123, ph.Total, ph.MaxRounds)
+		events += p.Events
 	}
 	fmt.Println("\nhypercube topology (the dissemination phase grows with the diameter):")
 	fmt.Printf("%6s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "total", "rounds")
-	for _, p := range flashfc.RunFig55(nodes, flashfc.TopoHypercube, seed) {
+	for _, p := range flashfc.RunFig55(nodes, flashfc.TopoHypercube, seed, parallel) {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %8d\n", p.Nodes, ph.P1, ph.P12, ph.Total, ph.MaxRounds)
+		events += p.Events
 	}
+	throughput(events, start)
 }
 
-func fig56(seed int64) {
+func fig56(seed int64, parallel int) {
+	start := time.Now()
 	fmt.Println("Fig 5.6 — cache coherence protocol recovery times (4 nodes)")
 	fmt.Println("\nleft: vs second-level cache size (4 MB/node memory):")
 	fmt.Printf("%10s %12s %12s\n", "L2 [MB]", "WB (flush)", "P4 total")
-	for _, p := range flashfc.RunFig56L2([]uint64{512 << 10, 1 << 20, 2 << 20, 4 << 20}, seed) {
+	var events uint64
+	for _, p := range flashfc.RunFig56L2([]uint64{512 << 10, 1 << 20, 2 << 20, 4 << 20}, seed, parallel) {
 		ph := p.Phases
-		fmt.Printf("%10.1f %12v %12v\n", float64(p.Nodes), ph.WB, ph.P4Time())
+		fmt.Printf("%10.1f %12v %12v\n", p.X, ph.WB, ph.P4Time())
+		events += p.Events
 	}
 	fmt.Println("\nright: vs node memory size (1 MB L2):")
 	fmt.Printf("%10s %12s %12s\n", "mem [MB]", "scan", "P4 total")
-	for _, p := range flashfc.RunFig56Mem([]uint64{1 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}, seed) {
+	for _, p := range flashfc.RunFig56Mem([]uint64{1 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}, seed, parallel) {
 		ph := p.Phases
-		fmt.Printf("%10d %12v %12v\n", p.Nodes, ph.Scan, ph.P4Time())
+		fmt.Printf("%10.0f %12v %12v\n", p.X, ph.Scan, ph.P4Time())
+		events += p.Events
 	}
+	throughput(events, start)
 }
 
-func fig57(seed int64, full bool) {
+func fig57(seed int64, full bool, parallel int) {
 	mem := uint64(2 << 20)
 	l2 := uint64(256 << 10)
 	if full {
@@ -83,7 +99,7 @@ func fig57(seed int64, full bool) {
 	fmt.Printf("Fig 5.7 — end-to-end recovery times (1 Hive cell/node, %d MB/node, %d KB L2)\n\n",
 		mem>>20, l2>>10)
 	fmt.Printf("%6s %14s %14s\n", "nodes", "HW", "HW+OS")
-	for _, p := range flashfc.RunFig57([]int{2, 4, 8, 16}, mem, l2, seed) {
+	for _, p := range flashfc.RunFig57([]int{2, 4, 8, 16}, mem, l2, seed, parallel) {
 		status := ""
 		if !p.OK {
 			status = "  (run failed)"
@@ -93,15 +109,27 @@ func fig57(seed int64, full bool) {
 	fmt.Println("\npaper: OS recovery scales with cells rather than nodes (§5.3)")
 }
 
-func dist() {
+func dist(parallel int) {
 	fmt.Println("Recovery-time distributions (node failures at random workload points, 12 seeds)")
 	fmt.Println()
 	fmt.Printf("%6s %28s %28s\n", "nodes", "P2 ms (min/med/max)", "total ms (min/med/max)")
+	var stats flashfc.CampaignStats
 	for _, n := range []int{8, 32, 64} {
-		d := flashfc.RunRecoveryDistribution(flashfc.DefaultScalingConfig(n), 12)
+		cfg := flashfc.DefaultScalingConfig(n)
+		cfg.Workers = parallel
+		d := flashfc.RunRecoveryDistribution(cfg, 12)
 		fmt.Printf("%6d %12.2f /%6.2f /%6.2f %12.2f /%6.2f /%6.2f\n",
 			n, d.P2.Min, d.P2.Median, d.P2.Max, d.Total.Min, d.Total.Median, d.Total.Max)
+		stats.Merge(d.Stats)
 	}
+	fmt.Printf("\nthroughput: %v\n", stats)
+}
+
+// throughput prints the sweep's aggregate simulated-event rate.
+func throughput(events uint64, start time.Time) {
+	wall := time.Since(start)
+	fmt.Printf("\nthroughput: %d simulated events in %v, %.2f Mevents/s\n",
+		events, wall.Round(time.Millisecond), float64(events)/wall.Seconds()/1e6)
 }
 
 func ablations(seed int64) {

@@ -5,10 +5,15 @@
 //	flashsim -nodes 8 -fault loop -mem 1048576 -l2 1048576 -trace
 //	flashsim -nodes 16 -fault powerloss        (§4.1 compound fault)
 //	flashsim -nodes 16 -fault cablecut
+//	flashsim -fault router -runs 100 -parallel 8   (multi-seed campaign)
 //
 // The run fills the caches with the §5.2 validation workload, injects the
 // fault mid-fill, executes the recovery algorithm, verifies all of memory
-// against the oracle, and prints the per-phase breakdown.
+// against the oracle, and prints the per-phase breakdown. With -runs N
+// (N > 1) flashsim instead runs a campaign of N independent experiments
+// with seeds derived from -seed, fanned out over -parallel workers
+// (0 = one per CPU), and reports pass/fail counts plus simulated-event
+// throughput; -trace applies to single runs only.
 package main
 
 import (
@@ -29,7 +34,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	fill := flag.Int("fill", 192, "cache-fill lines per node")
 	stride := flag.Int("stride", 1, "verification stride (1 = every line)")
-	doTrace := flag.Bool("trace", false, "print the recovery event timeline")
+	doTrace := flag.Bool("trace", false, "print the recovery event timeline (single runs)")
+	runs := flag.Int("runs", 1, "number of independent experiments (campaign mode when > 1)")
+	parallel := flag.Int("parallel", 0, "campaign worker goroutines (0 = one per CPU)")
 	flag.Parse()
 
 	cfg := flashfc.DefaultValidationConfig()
@@ -69,6 +76,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *runs > 1 {
+		cfg.Workers = *parallel
+		runCampaign(cfg, ft, *faultName, *runs, *seed)
+		return
+	}
+
 	r := flashfc.RunValidation(cfg, ft, *seed)
 	if tracer != nil {
 		fmt.Println("timeline:")
@@ -89,6 +102,30 @@ func main() {
 	}
 	fmt.Printf("result:     FAIL — %s\n", r.Note)
 	os.Exit(1)
+}
+
+// runCampaign fans `runs` independent validation experiments out over the
+// configured worker pool and reports the campaign verdict.
+func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string, runs int, seed int64) {
+	fmt.Printf("campaign: %d %s-fault runs, base seed %d\n", runs, name, seed)
+	results, stats := flashfc.RunValidationBatch(cfg, ft, runs, seed)
+	failed := 0
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			failed++
+			fmt.Printf("run %4d: CRASH — %v\n", i, r.Err)
+		case !r.Value.OK():
+			failed++
+			fmt.Printf("run %4d: FAIL — %s (fault %v)\n", i, r.Value.Note, r.Value.Fault)
+		}
+	}
+	fmt.Printf("throughput: %v\n", stats)
+	if failed > 0 {
+		fmt.Printf("result:     FAIL — %d/%d runs failed\n", failed, runs)
+		os.Exit(1)
+	}
+	fmt.Printf("result:     PASS — all %d faults contained, no data anomalies\n", runs)
 }
 
 // runCompound injects a §4.1 compound fault (power-supply loss of two

@@ -1,7 +1,7 @@
 // Command tables regenerates the paper's experiment tables.
 //
-//	tables -table 5.3 [-runs 200] [-seed 1]
-//	tables -table 5.4 [-runs 1187] [-legacy-bug] [-seed 1]
+//	tables -table 5.3 [-runs 200] [-seed 1] [-parallel N]
+//	tables -table 5.4 [-runs 1187] [-legacy-bug] [-seed 1] [-parallel N]
 //
 // Table 5.3 (validation): stand-alone cache-fill runs per fault type; the
 // paper reports 200 runs per type with zero failures.
@@ -9,6 +9,10 @@
 // Table 5.4 (end-to-end): Hive parallel-make runs per fault type; the paper
 // reports 1187 runs with 99 failures (8.4%), all caused by OS bugs in the
 // handling of incoherent lines — reenable them with -legacy-bug.
+//
+// Runs within a batch are independent simulations; -parallel N fans them
+// out over N workers (default: one per CPU) with bit-identical results,
+// and each table ends with the campaign's simulated-event throughput.
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	legacy := flag.Bool("legacy-bug", false, "reenable the paper's incoherent-line OS bugs (5.4)")
 	full := flag.Bool("full", false, "paper-scale run counts (200/type for 5.3; ~300/type for 5.4)")
+	parallel := flag.Int("parallel", 0, "worker goroutines per batch (0 = one per CPU)")
 	flag.Parse()
 
 	switch *table {
@@ -36,7 +41,7 @@ func main() {
 				n = 200
 			}
 		}
-		table53(n, *seed)
+		table53(n, *seed, *parallel)
 	case "5.4":
 		n := *runs
 		if n == 0 {
@@ -45,17 +50,19 @@ func main() {
 				n = 300
 			}
 		}
-		table54(n, *seed, *legacy)
+		table54(n, *seed, *legacy, *parallel)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
 }
 
-func table53(runs int, seed int64) {
+func table53(runs int, seed int64, parallel int) {
 	fmt.Printf("Table 5.3 — validation experiments (%d runs per fault type)\n\n", runs)
 	fmt.Printf("%-38s %12s %12s\n", "Injected fault type", "# of exp.", "# failed")
-	rows := flashfc.RunTable53(flashfc.DefaultValidationConfig(), runs, seed)
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.Workers = parallel
+	rows, stats := flashfc.RunTable53(cfg, runs, seed)
 	names := map[flashfc.FaultType]string{
 		flashfc.NodeFailure:   "Node failure",
 		flashfc.RouterFailure: "Router failure",
@@ -69,12 +76,13 @@ func table53(runs int, seed int64) {
 		bad += r.Failed
 	}
 	fmt.Printf("\npaper: 200 runs per type, 0 failures; this run: %d total failures\n", bad)
+	fmt.Printf("throughput: %v\n", stats)
 	if bad > 0 {
 		os.Exit(1)
 	}
 }
 
-func table54(runs int, seed int64, legacy bool) {
+func table54(runs int, seed int64, legacy bool, parallel int) {
 	mode := "fixed OS"
 	if legacy {
 		mode = "legacy OS bugs reenabled"
@@ -83,6 +91,7 @@ func table54(runs int, seed int64, legacy bool) {
 	fmt.Printf("%-38s %12s %12s\n", "Injected fault type", "# of exp.", "# failed")
 	cfg := flashfc.DefaultEndToEndConfig()
 	cfg.LegacyIncoherentBug = legacy
+	cfg.Workers = parallel
 	runsPer := map[flashfc.FaultType]int{
 		flashfc.NodeFailure:   runs,
 		flashfc.RouterFailure: runs,
@@ -95,7 +104,7 @@ func table54(runs int, seed int64, legacy bool) {
 		flashfc.LinkFailure:   "Link failure",
 		flashfc.InfiniteLoop:  "Infinite loop in MAGIC handler",
 	}
-	rows := flashfc.RunTable54(cfg, runsPer, seed)
+	rows, stats := flashfc.RunTable54(cfg, runsPer, seed)
 	total, failed := 0, 0
 	for _, r := range rows {
 		fmt.Printf("%-38s %12d %12d\n", names[r.Fault], r.Runs, r.Failed)
@@ -109,4 +118,5 @@ func table54(runs int, seed int64, legacy bool) {
 	fmt.Printf("%-38s %12d %12d\n", "Total", total, failed)
 	fmt.Printf("\n%.1f%% of runs correctly finished the compiles not affected by the fault\n", pct)
 	fmt.Println("paper: 1187 runs, 99 failed (91.6% success), all failures caused by OS bugs")
+	fmt.Printf("throughput: %v\n", stats)
 }

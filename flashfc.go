@@ -43,6 +43,7 @@ import (
 	"flashfc/internal/machine"
 	"flashfc/internal/magic"
 	"flashfc/internal/proc"
+	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/trace"
 	"flashfc/internal/workload"
@@ -196,6 +197,35 @@ func NewParallelMake(h *Hive, cfg MakeConfig) *Make { return hive.NewMake(h, cfg
 // DefaultMakeConfig returns the standard workload sizes.
 func DefaultMakeConfig() MakeConfig { return hive.DefaultMakeConfig() }
 
+// Parallel campaign infrastructure. Every batch driver fans its fully
+// independent runs out over a bounded worker pool (the Workers field of
+// the experiment configs, or the workers argument of the figure sweeps;
+// 0 = one worker per CPU) with bit-identical results for any worker
+// count: each run owns its whole simulated machine and derives its seed
+// purely from (base seed, stream, run index).
+type (
+	// CampaignStats aggregates a campaign's host-side accounting: wall
+	// and CPU time, simulated-event totals and events/sec throughput.
+	CampaignStats = runner.Stats
+	// ValidationRun is one run of a validation batch: the result plus
+	// per-run wall time, event count, and any captured panic.
+	ValidationRun = runner.Result[*experiments.ValidationResult]
+	// EndToEndRun is one run of an end-to-end batch.
+	EndToEndRun = runner.Result[*experiments.EndToEndResult]
+)
+
+// DeriveSeed is the campaign seed-derivation mixer: a SplitMix64-style
+// avalanche over (base, stream, i) that gives every run of every
+// experiment family a decorrelated engine seed.
+func DeriveSeed(base int64, stream, i int) int64 { return runner.DeriveSeed(base, stream, i) }
+
+// ParallelMap runs fn(0..n-1) on up to `workers` goroutines (0 = one per
+// CPU) and returns the results in index order — the primitive under every
+// batch driver, exported for custom experiment campaigns.
+func ParallelMap[T any](n, workers int, fn func(i int) T) []T {
+	return runner.Map(n, workers, fn)
+}
+
 // Experiment drivers (§5 and the §4/§6 ablations).
 type (
 	// ValidationConfig shapes a §5.2 validation run.
@@ -226,9 +256,16 @@ func RunValidation(cfg ValidationConfig, ft FaultType, seed int64) *ValidationRe
 	return experiments.Validation(cfg, ft, seed)
 }
 
+// RunValidationBatch runs a parallel batch of validation experiments of
+// one fault type (cfg.Workers goroutines), returning per-run results in
+// run order plus throughput accounting.
+func RunValidationBatch(cfg ValidationConfig, ft FaultType, runs int, seed int64) ([]ValidationRun, CampaignStats) {
+	return experiments.ValidationBatch(cfg, ft, runs, seed)
+}
+
 // RunTable53 regenerates Table 5.3: `runs` validation experiments per fault
-// type, counting failures.
-func RunTable53(cfg ValidationConfig, runs int, seed int64) []Table53Row {
+// type (on cfg.Workers goroutines), counting failures.
+func RunTable53(cfg ValidationConfig, runs int, seed int64) ([]Table53Row, CampaignStats) {
 	return experiments.Table53(cfg, runs, seed)
 }
 
@@ -238,19 +275,22 @@ func DefaultScalingConfig(nodes int) ScalingConfig { return experiments.DefaultS
 // MeasureRecovery injects a node failure and aggregates per-phase times.
 func MeasureRecovery(cfg ScalingConfig) ScalingPoint { return experiments.MeasureRecovery(cfg) }
 
-// RunFig55 sweeps the node counts of Fig 5.5.
-func RunFig55(nodes []int, topo TopoKind, seed int64) []ScalingPoint {
-	return experiments.Fig55(nodes, topo, seed)
+// RunFig55 sweeps the node counts of Fig 5.5 on up to `workers`
+// goroutines (0 = one per CPU).
+func RunFig55(nodes []int, topo TopoKind, seed int64, workers int) []ScalingPoint {
+	return experiments.Fig55(nodes, topo, seed, workers)
 }
 
-// RunFig56L2 sweeps the L2 size at 4 nodes (Fig 5.6 left).
-func RunFig56L2(l2Sizes []uint64, seed int64) []ScalingPoint {
-	return experiments.Fig56L2(l2Sizes, seed)
+// RunFig56L2 sweeps the L2 size at 4 nodes (Fig 5.6 left); each point's X
+// is the swept size in MB.
+func RunFig56L2(l2Sizes []uint64, seed int64, workers int) []ScalingPoint {
+	return experiments.Fig56L2(l2Sizes, seed, workers)
 }
 
-// RunFig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right).
-func RunFig56Mem(memSizes []uint64, seed int64) []ScalingPoint {
-	return experiments.Fig56Mem(memSizes, seed)
+// RunFig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right);
+// each point's X is the swept size in MB.
+func RunFig56Mem(memSizes []uint64, seed int64, workers int) []ScalingPoint {
+	return experiments.Fig56Mem(memSizes, seed, workers)
 }
 
 // DefaultEndToEndConfig returns the §5.1 end-to-end setup.
@@ -261,14 +301,22 @@ func RunEndToEnd(cfg EndToEndConfig, ft FaultType, seed int64) *EndToEndResult {
 	return experiments.EndToEnd(cfg, ft, seed)
 }
 
-// RunTable54 regenerates Table 5.4 with the given runs per fault type.
-func RunTable54(cfg EndToEndConfig, runsPer map[FaultType]int, seed int64) []Table54Row {
+// RunEndToEndBatch runs a parallel batch of end-to-end experiments of one
+// fault type (cfg.Workers goroutines).
+func RunEndToEndBatch(cfg EndToEndConfig, ft FaultType, runs int, seed int64) ([]EndToEndRun, CampaignStats) {
+	return experiments.EndToEndBatch(cfg, ft, runs, seed)
+}
+
+// RunTable54 regenerates Table 5.4 with the given runs per fault type (on
+// cfg.Workers goroutines).
+func RunTable54(cfg EndToEndConfig, runsPer map[FaultType]int, seed int64) ([]Table54Row, CampaignStats) {
 	return experiments.Table54(cfg, runsPer, seed)
 }
 
-// RunFig57 measures user-process suspension times (Fig 5.7).
-func RunFig57(nodes []int, memBytes, l2Bytes uint64, seed int64) []Fig57Point {
-	return experiments.Fig57(nodes, memBytes, l2Bytes, seed)
+// RunFig57 measures user-process suspension times (Fig 5.7) on up to
+// `workers` goroutines.
+func RunFig57(nodes []int, memBytes, l2Bytes uint64, seed int64, workers int) []Fig57Point {
+	return experiments.Fig57(nodes, memBytes, l2Bytes, seed, workers)
 }
 
 // FirewallLatency measures an intercell write-miss latency with the

@@ -73,6 +73,40 @@ func TestPublicHiveFlow(t *testing.T) {
 	}
 }
 
+func TestPublicParallelCampaign(t *testing.T) {
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.MemBytes = 64 << 10
+	cfg.L2Bytes = 16 << 10
+	cfg.FillLines = 48
+	cfg.Workers = 4
+	results, stats := flashfc.RunValidationBatch(cfg, flashfc.NodeFailure, 6, 1)
+	if len(results) != 6 || stats.Runs != 6 || stats.Failed != 0 {
+		t.Fatalf("batch: %d results, stats %+v", len(results), stats)
+	}
+	for i, r := range results {
+		if r.Err != nil || !r.Value.OK() {
+			t.Fatalf("run %d failed: %v %s", i, r.Err, r.Value.Note)
+		}
+		if r.Value.Events == 0 || r.Events != r.Value.Events {
+			t.Fatalf("run %d event accounting: result=%d run=%d", i, r.Value.Events, r.Events)
+		}
+	}
+	if stats.Events == 0 || stats.EventsPerSec() <= 0 {
+		t.Fatalf("stats accounting: %+v", stats)
+	}
+
+	if flashfc.DeriveSeed(1, 2, 3) != flashfc.DeriveSeed(1, 2, 3) ||
+		flashfc.DeriveSeed(1, 2, 3) == flashfc.DeriveSeed(1, 2, 4) {
+		t.Fatal("DeriveSeed not a distinct pure mapping")
+	}
+	squares := flashfc.ParallelMap(5, 2, func(i int) int { return i * i })
+	for i, v := range squares {
+		if v != i*i {
+			t.Fatalf("ParallelMap[%d] = %d", i, v)
+		}
+	}
+}
+
 func TestPublicConstantsAndHelpers(t *testing.T) {
 	if len(flashfc.AllFaultTypes()) != 5 {
 		t.Fatal("fault types")

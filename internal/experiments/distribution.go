@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"flashfc/internal/runner"
 	"flashfc/internal/stats"
 )
 
@@ -16,27 +17,42 @@ type Distribution struct {
 	P3     stats.Summary
 	P4     stats.Summary
 	Total  stats.Summary
-	Failed int // runs that did not complete recovery
+	Failed int // runs that did not complete recovery (or panicked)
+	// Stats is the campaign's host-side throughput accounting; it is the
+	// only field that depends on wall-clock rather than simulated state.
+	Stats runner.Stats
 }
 
 // RecoveryDistribution measures per-phase recovery times over `seeds`
-// independent runs of cfg (cfg.Seed is replaced per run and the victim node
-// varies with it, so the distribution covers fault placement too).
+// independent runs of cfg on a cfg.Workers-wide pool. Each run's seed is
+// runner.DeriveSeed(cfg.Seed, StreamDistribution, s), and when cfg.Victim
+// is -1 the victim node is derived from the same seed — so the
+// distribution covers fault placement too, and is bit-identical for any
+// worker count. A run that panics counts as failed.
 func RecoveryDistribution(cfg ScalingConfig, seeds int) Distribution {
 	d := Distribution{Nodes: cfg.Nodes}
-	var p1, p2, p3, p4, total []float64
-	for s := 0; s < seeds; s++ {
+	results, st := runner.Campaign(seeds, cfg.Workers, func(s int, rec *runner.Recorder) ScalingPoint {
+		if cfg.runHook != nil {
+			cfg.runHook(s)
+		}
 		run := cfg
-		run.Seed = int64(s + 1)
+		run.Seed = runner.DeriveSeed(cfg.Seed, runner.StreamDistribution, s)
 		if run.Victim < 0 && cfg.Nodes > 1 {
-			run.Victim = 1 + (s*7)%(cfg.Nodes-1)
+			run.Victim = 1 + int(uint64(run.Seed)%uint64(cfg.Nodes-1))
 		}
 		p := MeasureRecovery(run)
-		if !p.OK {
+		rec.Report(p.Events)
+		return p
+	}, nil)
+	d.Stats = st
+
+	var p1, p2, p3, p4, total []float64
+	for _, r := range results {
+		if r.Err != nil || !r.Value.OK {
 			d.Failed++
 			continue
 		}
-		ph := p.Phases
+		ph := r.Value.Phases
 		p1 = append(p1, ph.P1.Milliseconds())
 		p2 = append(p2, ph.P2Time().Milliseconds())
 		p3 = append(p3, (ph.P123 - ph.P12).Milliseconds())

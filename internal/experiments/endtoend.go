@@ -4,6 +4,7 @@ import (
 	"flashfc/internal/fault"
 	"flashfc/internal/hive"
 	"flashfc/internal/machine"
+	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 )
 
@@ -24,6 +25,10 @@ type EndToEndConfig struct {
 	InjectMin, InjectMax sim.Time
 	Deadline             sim.Time
 	Seed                 int64
+	// Workers bounds the goroutines batch drivers (Table54, Fig57) may
+	// use; 0 means one per CPU. Single runs ignore it, and any worker
+	// count yields bit-identical results.
+	Workers int
 }
 
 // DefaultEndToEndConfig returns the §5.1 setup scaled for simulation: 8
@@ -55,6 +60,8 @@ type EndToEndResult struct {
 	Outcome *hive.Outcome
 	HW, OS  sim.Time
 	Note    string
+	// Events is the number of simulated events the run's engine fired.
+	Events uint64
 }
 
 // OK reports whether the run counts as successful: every compile not
@@ -79,6 +86,7 @@ func EndToEnd(cfg EndToEndConfig, ft fault.Type, seed int64) *EndToEndResult {
 	// router and link faults may still take it out.
 	f := fault.Random(m.E.Rand(), ft, m.Topo, cfg.NodesPerCell)
 	res := &EndToEndResult{Fault: f}
+	defer func() { res.Events = m.E.EventsFired() }()
 	window := int64(cfg.InjectMax - cfg.InjectMin)
 	at := cfg.InjectMin
 	if window > 0 {
@@ -128,25 +136,41 @@ type Table54Row struct {
 	Failed int
 }
 
+// EndToEndBatch runs `runs` independent end-to-end experiments of one
+// fault type on a cfg.Workers-wide pool; per-run seeds come from
+// runner.DeriveSeed(seed, StreamEndToEnd+ft, i), so results are
+// bit-identical for any worker count, and a panicking run becomes a
+// failed Result instead of aborting the batch.
+func EndToEndBatch(cfg EndToEndConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*EndToEndResult], runner.Stats) {
+	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *EndToEndResult {
+		r := EndToEnd(cfg, ft, runner.DeriveSeed(seed, runner.StreamEndToEnd+int(ft), i))
+		rec.Report(r.Events)
+		return r
+	}, nil)
+}
+
 // Table54 reproduces the paper's Table 5.4: repeated end-to-end runs per
 // fault type (node, router, link, infinite loop), counting failed
-// experiments. With cfg.LegacyIncoherentBug the failure counts land near
-// the paper's 8.4%; without it the fixed OS passes.
-func Table54(cfg EndToEndConfig, runsPer map[fault.Type]int, seed int64) []Table54Row {
+// experiments, plus the campaign's aggregate host-side throughput. With
+// cfg.LegacyIncoherentBug the failure counts land near the paper's 8.4%;
+// without it the fixed OS passes. A run that panics counts as failed.
+func Table54(cfg EndToEndConfig, runsPer map[fault.Type]int, seed int64) ([]Table54Row, runner.Stats) {
 	types := []fault.Type{fault.NodeFailure, fault.RouterFailure, fault.LinkFailure, fault.InfiniteLoop}
 	var rows []Table54Row
+	var total runner.Stats
 	for _, ft := range types {
 		runs := runsPer[ft]
 		row := Table54Row{Fault: ft, Runs: runs}
-		for i := 0; i < runs; i++ {
-			r := EndToEnd(cfg, ft, seed+int64(i)*6151+int64(ft)*31337)
-			if !r.OK() {
+		results, stats := EndToEndBatch(cfg, ft, runs, seed)
+		for _, r := range results {
+			if r.Err != nil || !r.Value.OK() {
 				row.Failed++
 			}
 		}
+		total.Merge(stats)
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, total
 }
 
 // Fig57Point is one end-to-end suspension measurement.
@@ -159,18 +183,19 @@ type Fig57Point struct {
 
 // Fig57 measures the user-process suspension time after a node failure for
 // growing machine sizes with one Hive cell per node (Fig 5.7's 16 MB/node,
-// 1 MB L2 configuration; sizes are configurable for tractability).
-func Fig57(nodeCounts []int, memBytes, l2Bytes uint64, seed int64) []Fig57Point {
-	var out []Fig57Point
-	for _, n := range nodeCounts {
+// 1 MB L2 configuration; sizes are configurable for tractability). The
+// points are measured on up to `workers` goroutines (0 = one per CPU) and
+// returned in nodeCounts order.
+func Fig57(nodeCounts []int, memBytes, l2Bytes uint64, seed int64, workers int) []Fig57Point {
+	return runner.Map(len(nodeCounts), workers, func(i int) Fig57Point {
+		n := nodeCounts[i]
 		cfg := DefaultEndToEndConfig()
 		cfg.Cells = n
 		cfg.NodesPerCell = 1
 		cfg.MemBytes = memBytes
 		cfg.L2Bytes = l2Bytes
 		cfg.Seed = seed
-		r := EndToEnd(cfg, fault.NodeFailure, seed+int64(n))
-		out = append(out, Fig57Point{Nodes: n, HW: r.HW, HWOS: r.HW + r.OS, OK: r.OK()})
-	}
-	return out
+		r := EndToEnd(cfg, fault.NodeFailure, runner.DeriveSeed(seed, runner.StreamFig57, n))
+		return Fig57Point{Nodes: n, HW: r.HW, HWOS: r.HW + r.OS, OK: r.OK()}
+	})
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
+	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/trace"
 )
@@ -45,7 +47,7 @@ func TestValidationPhasesPopulated(t *testing.T) {
 }
 
 func TestTable53SmallBatch(t *testing.T) {
-	rows := Table53(fastValidationConfig(), 2, 7)
+	rows, stats := Table53(fastValidationConfig(), 2, 7)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -53,6 +55,59 @@ func TestTable53SmallBatch(t *testing.T) {
 		if row.Failed != 0 {
 			t.Errorf("%v: %d/%d failed", row.Fault, row.Failed, row.Runs)
 		}
+	}
+	if stats.Runs != 10 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v, want 10 runs / 0 panics", stats)
+	}
+	if stats.Events == 0 || stats.EventsPerSec() <= 0 {
+		t.Fatalf("throughput accounting missing: %+v", stats)
+	}
+}
+
+func TestTable53ParallelBitIdenticalToSequential(t *testing.T) {
+	seq := fastValidationConfig()
+	seq.Workers = 1
+	par := fastValidationConfig()
+	par.Workers = 8
+	for _, ft := range []fault.Type{fault.NodeFailure, fault.RouterFailure} {
+		a, _ := ValidationBatch(seq, ft, 6, 3)
+		b, _ := ValidationBatch(par, ft, 6, 3)
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ", ft)
+		}
+		for i := range a {
+			// Compare the simulated outcomes only; Wall is host time.
+			if !reflect.DeepEqual(a[i].Value, b[i].Value) {
+				t.Errorf("%v run %d: workers=1 %+v != workers=8 %+v", ft, i, a[i].Value, b[i].Value)
+			}
+		}
+	}
+	rowsSeq, _ := Table53(seq, 4, 11)
+	rowsPar, _ := Table53(par, 4, 11)
+	if !reflect.DeepEqual(rowsSeq, rowsPar) {
+		t.Fatalf("Table53 rows diverge: %+v vs %+v", rowsSeq, rowsPar)
+	}
+}
+
+func TestTable53PanicIsolation(t *testing.T) {
+	cfg := fastValidationConfig()
+	cfg.Workers = 4
+	cfg.runHook = func(i int) {
+		if i == 2 {
+			panic("injected driver crash")
+		}
+	}
+	rows, stats := Table53(cfg, 4, 5)
+	if len(rows) != 5 {
+		t.Fatalf("campaign aborted: %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Runs != 4 || row.Failed != 1 {
+			t.Errorf("%v: runs=%d failed=%d, want 4/1 (the crashed run)", row.Fault, row.Runs, row.Failed)
+		}
+	}
+	if stats.Failed != 5 { // one panic per fault-type batch
+		t.Fatalf("stats.Failed = %d, want 5", stats.Failed)
 	}
 }
 
@@ -69,7 +124,7 @@ func TestMeasureRecoveryScalesWithNodes(t *testing.T) {
 }
 
 func TestFig56L2Linear(t *testing.T) {
-	pts := Fig56L2([]uint64{512 << 10, 2 << 20, 4 << 20}, 3)
+	pts := Fig56L2([]uint64{512 << 10, 2 << 20, 4 << 20}, 3, 0)
 	if len(pts) != 3 {
 		t.Fatal("points missing")
 	}
@@ -82,8 +137,32 @@ func TestFig56L2Linear(t *testing.T) {
 	}
 }
 
+func TestFig56XCoordinates(t *testing.T) {
+	l2 := Fig56L2([]uint64{512 << 10, 4 << 20}, 3, 0)
+	if l2[0].X != 0.5 || l2[1].X != 4 {
+		t.Errorf("Fig56L2 X = %v, %v; want 0.5, 4 (MB)", l2[0].X, l2[1].X)
+	}
+	mem := Fig56Mem([]uint64{1 << 20, 16 << 20}, 3, 0)
+	if mem[0].X != 1 || mem[1].X != 16 {
+		t.Errorf("Fig56Mem X = %v, %v; want 1, 16 (MB)", mem[0].X, mem[1].X)
+	}
+	// The machine size stays truthful now that X carries the coordinate.
+	for _, p := range append(l2, mem...) {
+		if p.Nodes != 4 {
+			t.Errorf("Nodes = %d, want the actual 4-node machine", p.Nodes)
+		}
+		if p.Events == 0 {
+			t.Error("point carries no event accounting")
+		}
+	}
+	n := Fig55([]int{8}, machine.TopoMesh, 3, 0)[0]
+	if n.X != 8 {
+		t.Errorf("Fig55 X = %v, want the node count", n.X)
+	}
+}
+
 func TestFig56MemLinear(t *testing.T) {
-	pts := Fig56Mem([]uint64{1 << 20, 16 << 20}, 3)
+	pts := Fig56Mem([]uint64{1 << 20, 16 << 20}, 3, 0)
 	r := float64(pts[1].Phases.Scan) / float64(pts[0].Phases.Scan)
 	if r < 8 || r > 24 {
 		t.Errorf("Scan(16MB)/Scan(1MB) = %.1f, want ~16", r)
@@ -95,8 +174,8 @@ func TestFig56MemLinear(t *testing.T) {
 }
 
 func TestHypercubeDisseminationFasterAtScale(t *testing.T) {
-	mesh := Fig55([]int{64}, machine.TopoMesh, 5)[0]
-	hyper := Fig55([]int{64}, machine.TopoHypercube, 5)[0]
+	mesh := Fig55([]int{64}, machine.TopoMesh, 5, 0)[0]
+	hyper := Fig55([]int{64}, machine.TopoHypercube, 5, 0)[0]
 	if !mesh.OK || !hyper.OK {
 		t.Fatal("incomplete runs")
 	}
@@ -119,7 +198,7 @@ func TestEndToEndCleanAndFaulty(t *testing.T) {
 }
 
 func TestFig57Monotone(t *testing.T) {
-	pts := Fig57([]int{2, 8}, 1<<20, 64<<10, 9)
+	pts := Fig57([]int{2, 8}, 1<<20, 64<<10, 9, 0)
 	for _, p := range pts {
 		if !p.OK {
 			t.Fatalf("run at %d nodes failed", p.Nodes)
@@ -181,6 +260,45 @@ func TestRecoveryDistribution(t *testing.T) {
 	sum := d.P1.Mean + d.P2.Mean + d.P3.Mean + d.P4.Mean
 	if sum < 0.8*d.Total.Mean || sum > 1.2*d.Total.Mean {
 		t.Fatalf("phases (%v) do not compose to total (%v)", sum, d.Total.Mean)
+	}
+	if d.Stats.Runs != 5 || d.Stats.Events == 0 {
+		t.Fatalf("campaign stats missing: %+v", d.Stats)
+	}
+}
+
+func TestRecoveryDistributionParallelBitIdenticalToSequential(t *testing.T) {
+	seq := DefaultScalingConfig(8)
+	seq.Workers = 1
+	par := DefaultScalingConfig(8)
+	par.Workers = 8
+	a := RecoveryDistribution(seq, 6)
+	b := RecoveryDistribution(par, 6)
+	// Stats is host-side wall-clock accounting; everything else must be
+	// bit-identical.
+	a.Stats = runner.Stats{}
+	b.Stats = runner.Stats{}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("distributions diverge:\nworkers=1: %+v\nworkers=8: %+v", a, b)
+	}
+}
+
+func TestRecoveryDistributionPanicIsolation(t *testing.T) {
+	cfg := DefaultScalingConfig(8)
+	cfg.Workers = 4
+	cfg.runHook = func(i int) {
+		if i == 3 {
+			panic("injected driver crash")
+		}
+	}
+	d := RecoveryDistribution(cfg, 6)
+	if d.Failed != 1 {
+		t.Fatalf("Failed = %d, want the crashed run only", d.Failed)
+	}
+	if d.Total.N != 5 {
+		t.Fatalf("surviving runs = %d, want 5", d.Total.N)
+	}
+	if d.Stats.Failed != 1 {
+		t.Fatalf("stats.Failed = %d, want 1", d.Stats.Failed)
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
+	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/workload"
 )
@@ -25,6 +26,15 @@ type ScalingConfig struct {
 	// Knobs for the ablation studies.
 	SpeculativePing *bool
 	BFTHints        *bool
+	// Workers bounds the goroutines batch drivers (Fig55, Fig56*,
+	// RecoveryDistribution) may use; 0 means one per CPU. Single
+	// measurements ignore it, and any worker count yields bit-identical
+	// results.
+	Workers int
+	// runHook, when non-nil, runs at the start of every
+	// RecoveryDistribution run with the run index; test-only, see
+	// ValidationConfig.runHook.
+	runHook func(i int)
 }
 
 // DefaultScalingConfig is the Fig 5.5 configuration: mesh, 1 MB memory per
@@ -44,9 +54,17 @@ func DefaultScalingConfig(nodes int) ScalingConfig {
 
 // ScalingPoint is one measured configuration.
 type ScalingPoint struct {
-	Nodes  int
+	// Nodes is the machine size the point was measured on.
+	Nodes int
+	// X is the point's x-coordinate in the sweep that produced it: the
+	// node count for Fig55, the swept size in MB for Fig56L2/Fig56Mem.
+	// (Fig56 previously abused Nodes for this, which truncated sub-MB
+	// cache sizes to 0.)
+	X      float64
 	Phases machine.PhaseTimes
 	OK     bool
+	// Events is the number of simulated events the run's engine fired.
+	Events uint64
 }
 
 // MeasureRecovery builds the machine, fills caches lightly, injects a node
@@ -81,50 +99,56 @@ func MeasureRecovery(cfg ScalingConfig) ScalingPoint {
 	filler.Start(func() {})
 	m.Nodes[0].CPU.Submit(workload.TouchOp(m, victim))
 	ok := m.RunUntilRecovered(cfg.Deadline)
-	return ScalingPoint{Nodes: cfg.Nodes, Phases: m.Aggregate(), OK: ok}
+	return ScalingPoint{
+		Nodes:  cfg.Nodes,
+		X:      float64(cfg.Nodes),
+		Phases: m.Aggregate(),
+		OK:     ok,
+		Events: m.E.EventsFired(),
+	}
 }
 
-// Fig55 sweeps the node counts of Fig 5.5 on the given topology.
-func Fig55(nodeCounts []int, topo machine.TopoKind, seed int64) []ScalingPoint {
-	var out []ScalingPoint
-	for _, n := range nodeCounts {
-		cfg := DefaultScalingConfig(n)
+// Fig55 sweeps the node counts of Fig 5.5 on the given topology, measuring
+// the points on up to `workers` goroutines (0 = one per CPU). Every point
+// uses the same seed, as in the paper's single-curve presentation.
+func Fig55(nodeCounts []int, topo machine.TopoKind, seed int64, workers int) []ScalingPoint {
+	return runner.Map(len(nodeCounts), workers, func(i int) ScalingPoint {
+		cfg := DefaultScalingConfig(nodeCounts[i])
 		cfg.Topo = topo
 		cfg.Seed = seed
-		out = append(out, MeasureRecovery(cfg))
-	}
-	return out
+		return MeasureRecovery(cfg)
+	})
 }
 
 // Fig56L2 sweeps the second-level cache size at 4 nodes (Fig 5.6 left):
-// the flush (WB) component scales linearly with the L2 size.
-func Fig56L2(l2Sizes []uint64, seed int64) []ScalingPoint {
-	var out []ScalingPoint
-	for _, l2 := range l2Sizes {
+// the flush (WB) component scales linearly with the L2 size. Points carry
+// the swept size in X (in MB) and are measured on up to `workers`
+// goroutines.
+func Fig56L2(l2Sizes []uint64, seed int64, workers int) []ScalingPoint {
+	return runner.Map(len(l2Sizes), workers, func(i int) ScalingPoint {
 		cfg := DefaultScalingConfig(4)
-		cfg.L2Bytes = l2
+		cfg.L2Bytes = l2Sizes[i]
 		cfg.MemBytes = 4 << 20
 		cfg.Seed = seed
 		p := MeasureRecovery(cfg)
-		p.Nodes = int(l2 >> 20) // abused as the x coordinate in MB
-		out = append(out, p)
-	}
-	return out
+		p.X = float64(l2Sizes[i]) / (1 << 20)
+		return p
+	})
 }
 
 // Fig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right): the
-// directory-sweep component of P4 scales linearly with memory.
-func Fig56Mem(memSizes []uint64, seed int64) []ScalingPoint {
-	var out []ScalingPoint
-	for _, mem := range memSizes {
+// directory-sweep component of P4 scales linearly with memory. Points
+// carry the swept size in X (in MB) and are measured on up to `workers`
+// goroutines.
+func Fig56Mem(memSizes []uint64, seed int64, workers int) []ScalingPoint {
+	return runner.Map(len(memSizes), workers, func(i int) ScalingPoint {
 		cfg := DefaultScalingConfig(4)
-		cfg.MemBytes = mem
+		cfg.MemBytes = memSizes[i]
 		cfg.Seed = seed
 		p := MeasureRecovery(cfg)
-		p.Nodes = int(mem >> 20)
-		out = append(out, p)
-	}
-	return out
+		p.X = float64(memSizes[i]) / (1 << 20)
+		return p
+	})
 }
 
 // TriggerLatency measures the §4.2 recovery-triggering latency: the time

@@ -12,6 +12,7 @@ import (
 
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
+	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/trace"
 	"flashfc/internal/workload"
@@ -24,6 +25,9 @@ type ValidationResult struct {
 	Verify    *machine.VerifyResult
 	Phases    machine.PhaseTimes
 	Note      string
+	// Events is the number of simulated events the run's engine fired;
+	// campaigns aggregate it into events/sec throughput.
+	Events uint64
 }
 
 // OK reports whether the run counts as passed: recovery completed and the
@@ -47,8 +51,19 @@ type ValidationConfig struct {
 	FillLines int // lines each node touches before the fault
 	Deadline  sim.Time
 	Stride    int // verification stride (1 = full sweep)
-	// Trace, when non-nil, collects the run's event timeline.
+	// Workers bounds the goroutines a batch driver (Table53,
+	// ValidationBatch) may use; 0 means one per CPU. Single runs ignore
+	// it. Any worker count yields bit-identical results.
+	Workers int
+	// Trace, when non-nil, collects the run's event timeline. It applies
+	// to single Validation runs only: batch drivers clear it, since one
+	// tracer cannot soundly be shared across concurrent runs.
 	Trace *trace.Tracer
+	// runHook, when non-nil, runs at the start of every batch run with
+	// the run index. Test-only: it lets the suite crash a chosen run and
+	// assert that the runner's panic isolation turns it into a failed
+	// row instead of aborting the campaign.
+	runHook func(i int)
 }
 
 // DefaultValidationConfig returns a fast-but-faithful §5.2 setup: the
@@ -78,6 +93,7 @@ func Validation(cfg ValidationConfig, ft fault.Type, seed int64) *ValidationResu
 	m := machine.New(mc)
 	f := fault.Random(m.E.Rand(), ft, m.Topo, 1)
 	res := &ValidationResult{Fault: f}
+	defer func() { res.Events = m.E.EventsFired() }()
 
 	filler := workload.NewFiller(m)
 	if cfg.FillLines > 0 && cfg.FillLines < filler.FillLines {
@@ -137,20 +153,42 @@ type Table53Row struct {
 	Failed int
 }
 
+// ValidationBatch runs `runs` independent validation experiments of one
+// fault type on a cfg.Workers-wide pool, returning the per-run results in
+// run order plus the batch's throughput accounting. Per-run seeds come
+// from runner.DeriveSeed(seed, StreamValidation+ft, i), so the batch is
+// bit-identical for any worker count; a run that panics is returned as a
+// failed Result instead of aborting the batch.
+func ValidationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*ValidationResult], runner.Stats) {
+	bcfg := cfg
+	bcfg.Trace = nil
+	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *ValidationResult {
+		if cfg.runHook != nil {
+			cfg.runHook(i)
+		}
+		r := Validation(bcfg, ft, runner.DeriveSeed(seed, runner.StreamValidation+int(ft), i))
+		rec.Report(r.Events)
+		return r
+	}, nil)
+}
+
 // Table53 runs the full validation batch: `runs` experiments per fault
 // type, reporting failures per type (the paper's Table 5.3 reports 200
-// runs per type with zero failures).
-func Table53(cfg ValidationConfig, runs int, seed int64) []Table53Row {
+// runs per type with zero failures) plus the campaign's aggregate
+// host-side throughput. A run that panics counts as failed.
+func Table53(cfg ValidationConfig, runs int, seed int64) ([]Table53Row, runner.Stats) {
 	var rows []Table53Row
+	var total runner.Stats
 	for _, ft := range fault.AllTypes() {
 		row := Table53Row{Fault: ft, Runs: runs}
-		for i := 0; i < runs; i++ {
-			r := Validation(cfg, ft, seed+int64(i)*7919+int64(ft)*104729)
-			if !r.OK() {
+		results, stats := ValidationBatch(cfg, ft, runs, seed)
+		for _, r := range results {
+			if r.Err != nil || !r.Value.OK() {
 				row.Failed++
 			}
 		}
+		total.Merge(stats)
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, total
 }

@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMapIndexOrder(t *testing.T) {
+	// Skew per-run durations so later indices finish first; the result
+	// slice must still come back in index order.
+	n := 32
+	got := Map(n, 8, func(i int) int {
+		time.Sleep(time.Duration((n-i)%4) * time.Millisecond)
+		return i * i
+	})
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapMatchesSequentialForAnyWorkerCount(t *testing.T) {
+	fn := func(i int) int64 { return DeriveSeed(7, 3, i) }
+	want := Map(50, 1, fn)
+	for _, w := range []int{2, 4, 8, 50, 0} {
+		if got := Map(50, w, fn); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from sequential", w)
+		}
+	}
+}
+
+func TestMapZeroAndNegativeRuns(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("n=0 returned %v", got)
+	}
+	if got := Map(-3, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("n=-3 returned %v", got)
+	}
+}
+
+func TestMapRepanics(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("recovered %v, want boom", p)
+		}
+	}()
+	Map(4, 2, func(i int) int {
+		if i == 2 {
+			panic("boom")
+		}
+		return i
+	})
+	t.Fatal("Map did not re-panic")
+}
+
+func TestCampaignPanicIsolation(t *testing.T) {
+	results, stats := Campaign(6, 3, func(i int, _ *Recorder) int {
+		if i == 4 {
+			panic("injected crash")
+		}
+		return i + 100
+	}, nil)
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if i == 4 {
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) || pe.Index != 4 {
+				t.Fatalf("run 4: err = %v, want PanicError{Index: 4}", r.Err)
+			}
+			if r.Value != 0 {
+				t.Fatalf("panicked run value = %d, want zero", r.Value)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i+100 {
+			t.Fatalf("run %d: value=%d err=%v", i, r.Value, r.Err)
+		}
+	}
+	if stats.Runs != 6 || stats.Failed != 1 {
+		t.Fatalf("stats = %+v, want 6 runs / 1 failed", stats)
+	}
+}
+
+func TestCampaignRecorderAndStats(t *testing.T) {
+	results, stats := Campaign(5, 2, func(i int, rec *Recorder) int {
+		rec.Report(uint64(10 * (i + 1)))
+		return i
+	}, nil)
+	var want uint64
+	for i, r := range results {
+		if r.Events != uint64(10*(i+1)) {
+			t.Fatalf("run %d events = %d", i, r.Events)
+		}
+		if r.Wall < 0 {
+			t.Fatalf("run %d wall = %v", i, r.Wall)
+		}
+		want += r.Events
+	}
+	if stats.Events != want {
+		t.Fatalf("stats.Events = %d, want %d", stats.Events, want)
+	}
+	if stats.Wall <= 0 || stats.Work < 0 {
+		t.Fatalf("stats timing = %+v", stats)
+	}
+	if stats.EventsPerSec() <= 0 {
+		t.Fatalf("events/sec = %v", stats.EventsPerSec())
+	}
+}
+
+func TestCampaignObserverSeesEveryRun(t *testing.T) {
+	seen := make(map[int]int)
+	_, _ = Campaign(20, 4, func(i int, _ *Recorder) int { return i }, func(i int, r Result[int]) {
+		seen[i] = r.Value // serialized by the pool: no locking needed here
+	})
+	if len(seen) != 20 {
+		t.Fatalf("observer saw %d runs, want 20", len(seen))
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("observer run %d saw value %d", i, v)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Runs: 3, Failed: 1, Wall: time.Second, Work: 2 * time.Second, Events: 100}
+	b := Stats{Runs: 2, Wall: time.Second, Work: time.Second, Events: 50}
+	a.Merge(b)
+	want := Stats{Runs: 5, Failed: 1, Wall: 2 * time.Second, Work: 3 * time.Second, Events: 150}
+	if a != want {
+		t.Fatalf("merged = %+v, want %+v", a, want)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct{ req, runs, want int }{
+		{1, 100, 1},
+		{8, 100, 8},
+		{8, 3, 3},   // never more workers than runs
+		{-2, 10, 1}, // negative clamps to 1
+		{4, 0, 1},   // degenerate campaign still gets a worker
+	}
+	for _, c := range cases {
+		if got := Workers(c.req, c.runs); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.req, c.runs, got, c.want)
+		}
+	}
+	if got := Workers(0, 100); got < 1 { // 0 = GOMAXPROCS, host-dependent
+		t.Errorf("Workers(0, 100) = %d", got)
+	}
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	if DeriveSeed(1, StreamValidation, 5) != DeriveSeed(1, StreamValidation, 5) {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+	seen := make(map[int64][3]int)
+	for _, base := range []int64{0, 1, -1, 42} {
+		for _, stream := range []int{StreamValidation, StreamEndToEnd, StreamFig57, StreamDistribution} {
+			for i := 0; i < 500; i++ {
+				s := DeriveSeed(base, stream, i)
+				if s < 0 {
+					t.Fatalf("DeriveSeed(%d, %#x, %d) = %d, want non-negative", base, stream, i, s)
+				}
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d, %#x, %d) and %v both give %d", base, stream, i, prev, s)
+				}
+				seen[s] = [3]int{int(base), stream, i}
+			}
+		}
+	}
+}
+
+func TestDeriveSeedAvalanche(t *testing.T) {
+	// Adjacent run indices must not land on a lattice: the low 32 bits of
+	// consecutive seeds should differ in many positions on average.
+	var bits int
+	const n = 200
+	for i := 0; i < n; i++ {
+		a := DeriveSeed(1, StreamValidation, i)
+		b := DeriveSeed(1, StreamValidation, i+1)
+		x := uint64(a^b) & 0xFFFFFFFF
+		for x != 0 {
+			bits += int(x & 1)
+			x >>= 1
+		}
+	}
+	if avg := float64(bits) / n; avg < 12 || avg > 20 {
+		t.Fatalf("avg differing low bits between adjacent seeds = %.1f, want ~16", avg)
+	}
+}

@@ -89,6 +89,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	live    int // events in the heap that are not cancelled
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
@@ -110,19 +111,12 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // simulator performance accounting in benchmarks.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// Pending reports how many events are still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports how many live (non-cancelled) events are still queued.
+func (e *Engine) Pending() int { return e.live }
 
 // Timer identifies a scheduled event so that it can be canceled.
 type Timer struct {
+	e  *Engine
 	ev *event
 }
 
@@ -134,7 +128,40 @@ func (t *Timer) Cancel() bool {
 		return false
 	}
 	t.ev.cancel = true
+	t.e.live--
+	t.e.maybeCompact()
 	return true
+}
+
+// compactMin is the heap size below which compaction is not worth a
+// rebuild.
+const compactMin = 64
+
+// maybeCompact rebuilds the heap without its cancelled events once they
+// outnumber the live ones. Protocol timeouts are armed per operation and
+// almost always cancelled, so without this the heap accumulates dead
+// entries until their timestamps come up; compaction keeps the heap — and
+// every Push/Pop's log factor — proportional to the live event count.
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactMin || 2*e.live >= len(e.events) {
+		return
+	}
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancel {
+			ev.index = -1
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = kept
+	for i, ev := range e.events {
+		ev.index = i
+	}
+	heap.Init(&e.events)
 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
@@ -146,7 +173,8 @@ func (e *Engine) At(at Time, fn func()) *Timer {
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	e.live++
+	return &Timer{e: e, ev: ev}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -173,6 +201,7 @@ func (e *Engine) step(limit Time, bounded bool) bool {
 		if next.cancel {
 			continue
 		}
+		e.live--
 		e.now = next.at
 		e.fired++
 		next.fn()

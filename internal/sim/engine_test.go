@@ -192,6 +192,85 @@ func TestPending(t *testing.T) {
 	}
 }
 
+func TestCancelCompactsHeap(t *testing.T) {
+	e := NewEngine(1)
+	var timers []*Timer
+	for i := 0; i < 1000; i++ {
+		timers = append(timers, e.After(Time(i+1), func() {}))
+	}
+	// Cancel all but a handful; the heap must shrink rather than retain
+	// the dead entries until their timestamps come up.
+	for i, tm := range timers {
+		if i%100 != 0 {
+			tm.Cancel()
+		}
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	if n := len(e.events); n >= 500 {
+		t.Fatalf("heap holds %d entries after mass cancel, want compacted", n)
+	}
+	// Cancelling a compacted-away timer again stays a no-op.
+	if timers[1].Cancel() {
+		t.Fatal("re-cancel of compacted timer reported true")
+	}
+	e.Run()
+	if fired := int(e.EventsFired()); fired != 10 {
+		t.Fatalf("fired = %d, want the 10 surviving events", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", e.Pending())
+	}
+}
+
+func TestCompactionPreservesFiringOrder(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	var timers []*Timer
+	for i := 0; i < 256; i++ {
+		at := Time((i * 37) % 251)
+		timers = append(timers, e.At(at, func() { fired = append(fired, at) }))
+	}
+	for i, tm := range timers {
+		if i%4 != 0 {
+			tm.Cancel()
+		}
+	}
+	e.Run()
+	if len(fired) != 64 {
+		t.Fatalf("fired %d events, want 64", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of order after compaction: %v", fired)
+		}
+	}
+}
+
+func TestPendingTracksScheduleFireCancel(t *testing.T) {
+	e := NewEngine(1)
+	if e.Pending() != 0 {
+		t.Fatal("fresh engine has pending events")
+	}
+	tm := e.After(10, func() { e.After(5, func() {}) })
+	e.After(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(12) // fires tm's callback, which schedules one more
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after partial run = %d, want 2", e.Pending())
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire must report false")
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", e.Pending())
+	}
+}
+
 // Property: events always fire in nondecreasing time order regardless of the
 // insertion order.
 func TestQuickMonotonicFiring(t *testing.T) {
