@@ -9,7 +9,8 @@
 //
 // The points of each sweep are independent simulations; -parallel N
 // measures them on N workers (default: one per CPU) with bit-identical
-// results.
+// results. -metrics appends the sweep's aggregate metric registry (every
+// point's machine-wide snapshot, merged) for figs 5.5, 5.6 and dist.
 package main
 
 import (
@@ -26,37 +27,40 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (16 MB/node for 5.7)")
 	parallel := flag.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU)")
+	showMetrics := flag.Bool("metrics", false, "print the sweep's aggregate metric registry (5.5, 5.6, dist)")
 	flag.Parse()
 
 	switch *fig {
 	case "5.5":
-		fig55(*seed, *parallel)
+		fig55(*seed, *parallel, *showMetrics)
 	case "5.6":
-		fig56(*seed, *parallel)
+		fig56(*seed, *parallel, *showMetrics)
 	case "5.7":
 		fig57(*seed, *full, *parallel)
 	case "ablations":
 		ablations(*seed)
 	case "dist":
-		dist(*parallel)
+		dist(*parallel, *showMetrics)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
 }
 
-func fig55(seed int64, parallel int) {
+func fig55(seed int64, parallel int, showMetrics bool) {
 	start := time.Now()
 	fmt.Println("Fig 5.5 — total hardware recovery times (1 MB memory/node, 1 MB L2)")
 	fmt.Println("\nmesh topology:")
 	fmt.Printf("%6s %12s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "P1,2,3", "total", "rounds")
 	nodes := []int{2, 8, 16, 32, 64, 128}
 	var events uint64
+	var snaps []*flashfc.MetricsSnapshot
 	for _, p := range flashfc.RunFig55(nodes, flashfc.TopoMesh, seed, parallel) {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %12v %8d\n",
 			p.Nodes, ph.P1, ph.P12, ph.P123, ph.Total, ph.MaxRounds)
 		events += p.Events
+		snaps = append(snaps, p.Metrics)
 	}
 	fmt.Println("\nhypercube topology (the dissemination phase grows with the diameter):")
 	fmt.Printf("%6s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "total", "rounds")
@@ -64,20 +68,33 @@ func fig55(seed int64, parallel int) {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %8d\n", p.Nodes, ph.P1, ph.P12, ph.Total, ph.MaxRounds)
 		events += p.Events
+		snaps = append(snaps, p.Metrics)
 	}
 	throughput(events, start)
+	emitSweepMetrics(snaps, showMetrics)
 }
 
-func fig56(seed int64, parallel int) {
+// emitSweepMetrics prints the merged metric registry of a whole sweep.
+func emitSweepMetrics(snaps []*flashfc.MetricsSnapshot, show bool) {
+	if !show {
+		return
+	}
+	fmt.Println("\nmetrics (sweep aggregate):")
+	flashfc.MergeMetrics(snaps).WriteTable(os.Stdout)
+}
+
+func fig56(seed int64, parallel int, showMetrics bool) {
 	start := time.Now()
 	fmt.Println("Fig 5.6 — cache coherence protocol recovery times (4 nodes)")
 	fmt.Println("\nleft: vs second-level cache size (4 MB/node memory):")
 	fmt.Printf("%10s %12s %12s\n", "L2 [MB]", "WB (flush)", "P4 total")
 	var events uint64
+	var snaps []*flashfc.MetricsSnapshot
 	for _, p := range flashfc.RunFig56L2([]uint64{512 << 10, 1 << 20, 2 << 20, 4 << 20}, seed, parallel) {
 		ph := p.Phases
 		fmt.Printf("%10.1f %12v %12v\n", p.X, ph.WB, ph.P4Time())
 		events += p.Events
+		snaps = append(snaps, p.Metrics)
 	}
 	fmt.Println("\nright: vs node memory size (1 MB L2):")
 	fmt.Printf("%10s %12s %12s\n", "mem [MB]", "scan", "P4 total")
@@ -85,8 +102,10 @@ func fig56(seed int64, parallel int) {
 		ph := p.Phases
 		fmt.Printf("%10.0f %12v %12v\n", p.X, ph.Scan, ph.P4Time())
 		events += p.Events
+		snaps = append(snaps, p.Metrics)
 	}
 	throughput(events, start)
+	emitSweepMetrics(snaps, showMetrics)
 }
 
 func fig57(seed int64, full bool, parallel int) {
@@ -109,11 +128,12 @@ func fig57(seed int64, full bool, parallel int) {
 	fmt.Println("\npaper: OS recovery scales with cells rather than nodes (§5.3)")
 }
 
-func dist(parallel int) {
+func dist(parallel int, showMetrics bool) {
 	fmt.Println("Recovery-time distributions (node failures at random workload points, 12 seeds)")
 	fmt.Println()
 	fmt.Printf("%6s %28s %28s\n", "nodes", "P2 ms (min/med/max)", "total ms (min/med/max)")
 	var stats flashfc.CampaignStats
+	var snaps []*flashfc.MetricsSnapshot
 	for _, n := range []int{8, 32, 64} {
 		cfg := flashfc.DefaultScalingConfig(n)
 		cfg.Workers = parallel
@@ -121,8 +141,10 @@ func dist(parallel int) {
 		fmt.Printf("%6d %12.2f /%6.2f /%6.2f %12.2f /%6.2f /%6.2f\n",
 			n, d.P2.Min, d.P2.Median, d.P2.Max, d.Total.Min, d.Total.Median, d.Total.Max)
 		stats.Merge(d.Stats)
+		snaps = append(snaps, d.Metrics)
 	}
 	fmt.Printf("\nthroughput: %v\n", stats)
+	emitSweepMetrics(snaps, showMetrics)
 }
 
 // throughput prints the sweep's aggregate simulated-event rate.

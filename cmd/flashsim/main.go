@@ -6,6 +6,7 @@
 //	flashsim -nodes 16 -fault powerloss        (§4.1 compound fault)
 //	flashsim -nodes 16 -fault cablecut
 //	flashsim -fault router -runs 100 -parallel 8   (multi-seed campaign)
+//	flashsim -nodes 4 -fault node -metrics-json | jq .counters
 //
 // The run fills the caches with the §5.2 validation workload, injects the
 // fault mid-fill, executes the recovery algorithm, verifies all of memory
@@ -14,15 +15,26 @@
 // with seeds derived from -seed, fanned out over -parallel workers
 // (0 = one per CPU), and reports pass/fail counts plus simulated-event
 // throughput; -trace applies to single runs only.
+//
+// -metrics prints the machine-wide metric registry after the run (merged
+// across runs in campaign mode, plus per-run distributions). -metrics-json
+// emits the same snapshot as stable-key JSON alone on stdout — the human
+// report moves to stderr — so the output pipes into jq and is byte-identical
+// for a fixed seed regardless of -parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"flashfc"
 )
+
+// hout is where the human-readable report goes: stdout normally, stderr
+// under -metrics-json so that stdout carries only the JSON snapshot.
+var hout io.Writer = os.Stdout
 
 func main() {
 	nodes := flag.Int("nodes", 8, "number of nodes")
@@ -37,7 +49,14 @@ func main() {
 	doTrace := flag.Bool("trace", false, "print the recovery event timeline (single runs)")
 	runs := flag.Int("runs", 1, "number of independent experiments (campaign mode when > 1)")
 	parallel := flag.Int("parallel", 0, "campaign worker goroutines (0 = one per CPU)")
+	showMetrics := flag.Bool("metrics", false, "print the metric registry after the run")
+	metricsJSON := flag.Bool("metrics-json", false,
+		"write the metric snapshot as JSON on stdout (human report moves to stderr)")
 	flag.Parse()
+
+	if *metricsJSON {
+		hout = os.Stderr
+	}
 
 	cfg := flashfc.DefaultValidationConfig()
 	cfg.Nodes = *nodes
@@ -47,8 +66,15 @@ func main() {
 	cfg.Stride = *stride
 	var tracer *flashfc.Tracer
 	if *doTrace {
-		tracer = flashfc.NewTracer(0)
-		cfg.Trace = tracer
+		if *runs > 1 {
+			// The batch drivers clear any configured tracer (interleaved
+			// multi-run timelines are useless), so say so instead of
+			// silently dropping the flag.
+			fmt.Fprintln(os.Stderr, "warning: -trace is ignored in campaign mode (-runs > 1); run a single experiment to capture a timeline")
+		} else {
+			tracer = flashfc.NewTracer(0)
+			cfg.Trace = tracer
+		}
 	}
 
 	if *topo == "hypercube" {
@@ -56,7 +82,7 @@ func main() {
 	}
 	switch *faultName {
 	case "powerloss", "cablecut":
-		runCompound(cfg, *faultName, *seed, tracer)
+		runCompound(cfg, *faultName, *seed, tracer, *showMetrics, *metricsJSON)
 		return
 	}
 	var ft flashfc.FaultType
@@ -78,60 +104,96 @@ func main() {
 
 	if *runs > 1 {
 		cfg.Workers = *parallel
-		runCampaign(cfg, ft, *faultName, *runs, *seed)
+		runCampaign(cfg, ft, *faultName, *runs, *seed, *showMetrics, *metricsJSON)
 		return
 	}
 
 	r := flashfc.RunValidation(cfg, ft, *seed)
 	if tracer != nil {
-		fmt.Println("timeline:")
-		tracer.Dump(os.Stdout)
-		fmt.Println()
+		fmt.Fprintln(hout, "timeline:")
+		tracer.Dump(hout)
+		fmt.Fprintln(hout)
 	}
-	fmt.Printf("fault:      %v\n", r.Fault)
-	fmt.Printf("recovered:  %v\n", r.Recovered)
+	fmt.Fprintf(hout, "fault:      %v\n", r.Fault)
+	fmt.Fprintf(hout, "recovered:  %v\n", r.Recovered)
 	if r.Recovered {
 		p := r.Phases
-		fmt.Printf("phases:     P1=%v  P1,2=%v  P1,2,3=%v  total=%v\n", p.P1, p.P12, p.P123, p.Total)
-		fmt.Printf("            flush=%v  directory sweep=%v  gossip rounds=%d\n", p.WB, p.Scan, p.MaxRounds)
-		fmt.Printf("verify:     %v\n", r.Verify)
+		fmt.Fprintf(hout, "phases:     P1=%v  P1,2=%v  P1,2,3=%v  total=%v\n", p.P1, p.P12, p.P123, p.Total)
+		fmt.Fprintf(hout, "            flush=%v  directory sweep=%v  gossip rounds=%d\n", p.WB, p.Scan, p.MaxRounds)
+		fmt.Fprintf(hout, "verify:     %v\n", r.Verify)
 	}
+	emitMetrics(r.Metrics, *showMetrics, *metricsJSON)
 	if r.OK() {
-		fmt.Println("result:     PASS — fault contained, no data anomalies")
+		fmt.Fprintln(hout, "result:     PASS — fault contained, no data anomalies")
 		return
 	}
-	fmt.Printf("result:     FAIL — %s\n", r.Note)
+	fmt.Fprintf(hout, "result:     FAIL — %s\n", r.Note)
 	os.Exit(1)
+}
+
+// emitMetrics prints the snapshot per the output flags: a sorted table on
+// the human stream for -metrics, stable-key JSON alone on stdout for
+// -metrics-json.
+func emitMetrics(snap *flashfc.MetricsSnapshot, table, asJSON bool) {
+	if snap == nil {
+		return
+	}
+	if table {
+		fmt.Fprintln(hout, "metrics:")
+		snap.WriteTable(hout)
+	}
+	if asJSON {
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runCampaign fans `runs` independent validation experiments out over the
 // configured worker pool and reports the campaign verdict.
-func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string, runs int, seed int64) {
-	fmt.Printf("campaign: %d %s-fault runs, base seed %d\n", runs, name, seed)
+func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string, runs int, seed int64, showMetrics, metricsJSON bool) {
+	fmt.Fprintf(hout, "campaign: %d %s-fault runs, base seed %d\n", runs, name, seed)
 	results, stats := flashfc.RunValidationBatch(cfg, ft, runs, seed)
 	failed := 0
+	snaps := make([]*flashfc.MetricsSnapshot, 0, len(results))
 	for i, r := range results {
 		switch {
 		case r.Err != nil:
 			failed++
-			fmt.Printf("run %4d: CRASH — %v\n", i, r.Err)
+			fmt.Fprintf(hout, "run %4d: CRASH — %v\n", i, r.Err)
 		case !r.Value.OK():
 			failed++
-			fmt.Printf("run %4d: FAIL — %s (fault %v)\n", i, r.Value.Note, r.Value.Fault)
+			fmt.Fprintf(hout, "run %4d: FAIL — %s (fault %v)\n", i, r.Value.Note, r.Value.Fault)
+		}
+		if r.Err == nil {
+			snaps = append(snaps, r.Value.Metrics)
 		}
 	}
-	fmt.Printf("throughput: %v\n", stats)
+	if showMetrics {
+		fmt.Fprintln(hout, "metrics (campaign aggregate):")
+		flashfc.MergeMetrics(snaps).WriteTable(hout)
+		fmt.Fprintln(hout, "metrics (per-run distributions):")
+		flashfc.WriteMetricsSummary(hout, flashfc.SummarizeMetrics(snaps))
+	}
+	if metricsJSON {
+		if err := flashfc.MergeMetrics(snaps).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(hout, "throughput: %v\n", stats)
 	if failed > 0 {
-		fmt.Printf("result:     FAIL — %d/%d runs failed\n", failed, runs)
+		fmt.Fprintf(hout, "result:     FAIL — %d/%d runs failed\n", failed, runs)
 		os.Exit(1)
 	}
-	fmt.Printf("result:     PASS — all %d faults contained, no data anomalies\n", runs)
+	fmt.Fprintf(hout, "result:     PASS — all %d faults contained, no data anomalies\n", runs)
 }
 
 // runCompound injects a §4.1 compound fault (power-supply loss of two
 // adjacent nodes, or a cable cut between the first two mesh columns) and
 // reports the recovery outcome.
-func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, tracer *flashfc.Tracer) {
+func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, tracer *flashfc.Tracer, showMetrics, metricsJSON bool) {
 	mc := flashfc.DefaultMachineConfig(cfg.Nodes)
 	mc.Seed = seed
 	mc.MemBytes = cfg.MemBytes
@@ -146,7 +208,7 @@ func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, tracer *
 	case "cablecut":
 		fs = flashfc.CableCut(m, 0)
 	}
-	fmt.Printf("injecting %d-part compound fault: %v\n", len(fs), fs)
+	fmt.Fprintf(hout, "injecting %d-part compound fault: %v\n", len(fs), fs)
 	m.E.At(flashfc.Millisecond, func() { m.InjectAll(fs) })
 	m.E.At(flashfc.Millisecond+10*flashfc.Microsecond, func() {
 		m.Nodes[0].CPU.Submit(flashfc.TouchOp(m, cfg.Nodes/2))
@@ -156,24 +218,26 @@ func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, tracer *
 	})
 	ok := m.RunUntilRecovered(10 * flashfc.Second)
 	if tracer != nil {
-		fmt.Println("timeline:")
-		tracer.Dump(os.Stdout)
+		fmt.Fprintln(hout, "timeline:")
+		tracer.Dump(hout)
 	}
-	fmt.Println("recovered:", ok)
+	fmt.Fprintln(hout, "recovered:", ok)
 	if !ok {
+		emitMetrics(m.MetricsSnapshot(), showMetrics, metricsJSON)
 		os.Exit(1)
 	}
 	pt := m.Aggregate()
-	fmt.Printf("phases:     P1=%v  P1,2=%v  P1,2,3=%v  total=%v\n", pt.P1, pt.P12, pt.P123, pt.Total)
-	fmt.Printf("survivors:  %d participants, %d restarts\n", pt.Participants, pt.Restarts)
+	fmt.Fprintf(hout, "phases:     P1=%v  P1,2=%v  P1,2,3=%v  total=%v\n", pt.P1, pt.P12, pt.P123, pt.Total)
+	fmt.Fprintf(hout, "survivors:  %d participants, %d restarts\n", pt.Participants, pt.Restarts)
 	// Verify from the main surviving component (a partition may have
 	// shut down the island containing node 0).
 	reader := m.Survivors()[0]
 	res := m.VerifyMemory(reader, cfg.Stride)
-	fmt.Printf("verify:     %v\n", res)
+	fmt.Fprintf(hout, "verify:     %v\n", res)
+	emitMetrics(m.MetricsSnapshot(), showMetrics, metricsJSON)
 	if !res.OK() {
-		fmt.Println("result:     FAIL")
+		fmt.Fprintln(hout, "result:     FAIL")
 		os.Exit(1)
 	}
-	fmt.Println("result:     PASS — compound fault contained")
+	fmt.Fprintln(hout, "result:     PASS — compound fault contained")
 }

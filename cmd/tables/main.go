@@ -13,6 +13,8 @@
 // Runs within a batch are independent simulations; -parallel N fans them
 // out over N workers (default: one per CPU) with bit-identical results,
 // and each table ends with the campaign's simulated-event throughput.
+// -metrics appends the campaign's aggregate metric registry (every run's
+// machine-wide snapshot, merged).
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	legacy := flag.Bool("legacy-bug", false, "reenable the paper's incoherent-line OS bugs (5.4)")
 	full := flag.Bool("full", false, "paper-scale run counts (200/type for 5.3; ~300/type for 5.4)")
 	parallel := flag.Int("parallel", 0, "worker goroutines per batch (0 = one per CPU)")
+	showMetrics := flag.Bool("metrics", false, "print the campaign's aggregate metric registry")
 	flag.Parse()
 
 	switch *table {
@@ -41,7 +44,7 @@ func main() {
 				n = 200
 			}
 		}
-		table53(n, *seed, *parallel)
+		table53(n, *seed, *parallel, *showMetrics)
 	case "5.4":
 		n := *runs
 		if n == 0 {
@@ -50,14 +53,14 @@ func main() {
 				n = 300
 			}
 		}
-		table54(n, *seed, *legacy, *parallel)
+		table54(n, *seed, *legacy, *parallel, *showMetrics)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
 }
 
-func table53(runs int, seed int64, parallel int) {
+func table53(runs int, seed int64, parallel int, showMetrics bool) {
 	fmt.Printf("Table 5.3 — validation experiments (%d runs per fault type)\n\n", runs)
 	fmt.Printf("%-38s %12s %12s\n", "Injected fault type", "# of exp.", "# failed")
 	cfg := flashfc.DefaultValidationConfig()
@@ -71,18 +74,31 @@ func table53(runs int, seed int64, parallel int) {
 		flashfc.FalseAlarm:    "Recovery triggered by false alarm",
 	}
 	bad := 0
+	snaps := make([]*flashfc.MetricsSnapshot, 0, len(rows))
 	for _, r := range rows {
 		fmt.Printf("%-38s %12d %12d\n", names[r.Fault], r.Runs, r.Failed)
 		bad += r.Failed
+		snaps = append(snaps, r.Metrics)
 	}
 	fmt.Printf("\npaper: 200 runs per type, 0 failures; this run: %d total failures\n", bad)
 	fmt.Printf("throughput: %v\n", stats)
+	emitCampaignMetrics(snaps, showMetrics)
 	if bad > 0 {
 		os.Exit(1)
 	}
 }
 
-func table54(runs int, seed int64, legacy bool, parallel int) {
+// emitCampaignMetrics prints the merged metric registry of a whole campaign
+// (the per-fault-type batch aggregates, merged again across types).
+func emitCampaignMetrics(snaps []*flashfc.MetricsSnapshot, show bool) {
+	if !show {
+		return
+	}
+	fmt.Println("\nmetrics (campaign aggregate):")
+	flashfc.MergeMetrics(snaps).WriteTable(os.Stdout)
+}
+
+func table54(runs int, seed int64, legacy bool, parallel int, showMetrics bool) {
 	mode := "fixed OS"
 	if legacy {
 		mode = "legacy OS bugs reenabled"
@@ -106,10 +122,12 @@ func table54(runs int, seed int64, legacy bool, parallel int) {
 	}
 	rows, stats := flashfc.RunTable54(cfg, runsPer, seed)
 	total, failed := 0, 0
+	snaps := make([]*flashfc.MetricsSnapshot, 0, len(rows))
 	for _, r := range rows {
 		fmt.Printf("%-38s %12d %12d\n", names[r.Fault], r.Runs, r.Failed)
 		total += r.Runs
 		failed += r.Failed
+		snaps = append(snaps, r.Metrics)
 	}
 	pct := 0.0
 	if total > 0 {
@@ -119,4 +137,5 @@ func table54(runs int, seed int64, legacy bool, parallel int) {
 	fmt.Printf("\n%.1f%% of runs correctly finished the compiles not affected by the fault\n", pct)
 	fmt.Println("paper: 1187 runs, 99 failed (91.6% success), all failures caused by OS bugs")
 	fmt.Printf("throughput: %v\n", stats)
+	emitCampaignMetrics(snaps, showMetrics)
 }

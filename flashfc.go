@@ -36,15 +36,19 @@
 package flashfc
 
 import (
+	"io"
+
 	"flashfc/internal/coherence"
 	"flashfc/internal/experiments"
 	"flashfc/internal/fault"
 	"flashfc/internal/hive"
 	"flashfc/internal/machine"
 	"flashfc/internal/magic"
+	"flashfc/internal/metrics"
 	"flashfc/internal/proc"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
+	"flashfc/internal/stats"
 	"flashfc/internal/trace"
 	"flashfc/internal/workload"
 )
@@ -154,6 +158,34 @@ type TraceEvent = trace.Event
 
 // NewTracer returns a tracer retaining at most limit events (0: unlimited).
 func NewTracer(limit int) *Tracer { return trace.New(limit) }
+
+// Metrics layer: every Machine owns a MetricsRegistry that all simulation
+// layers report into (sim engine, interconnect, MAGIC controllers, recovery
+// agents, machine harness). Machine.MetricsSnapshot freezes it; snapshots
+// merge deterministically, so campaigns aggregate per-run snapshots into
+// byte-stable tables and JSON for any worker count.
+type (
+	// MetricsRegistry is one machine's metric namespace.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a frozen, serializable view of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricSummary is the across-run distribution of one metric.
+	MetricSummary = stats.Summary
+)
+
+// MergeMetrics folds per-run snapshots (in run order) into one aggregate.
+func MergeMetrics(snaps []*MetricsSnapshot) *MetricsSnapshot { return runner.MergeMetrics(snaps) }
+
+// SummarizeMetrics computes the across-run distribution of every counter
+// and gauge in the per-run snapshots.
+func SummarizeMetrics(snaps []*MetricsSnapshot) map[string]MetricSummary {
+	return runner.SummarizeMetrics(snaps)
+}
+
+// WriteMetricsSummary renders SummarizeMetrics output as a sorted table.
+func WriteMetricsSummary(w io.Writer, sums map[string]MetricSummary) {
+	runner.WriteMetricsSummary(w, sums)
+}
 
 // ErrBusError terminates accesses to inaccessible, incoherent, firewalled
 // or range-protected lines.

@@ -5,6 +5,7 @@ import (
 
 	"flashfc/internal/interconnect"
 	"flashfc/internal/magic"
+	"flashfc/internal/metrics"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
 	"flashfc/internal/topology"
@@ -123,6 +124,11 @@ type Config struct {
 	// MAGIC. Normal-mode behaviour is unchanged.
 	HardwiredController bool
 
+	// Metrics, when non-nil, receives machine-wide recovery-algorithm
+	// counters (gossip rounds, BFT bound growth, drain attempts/restarts,
+	// watchdog restarts). Shared by every agent of one machine.
+	Metrics *metrics.Registry
+
 	// OnEnter fires when the node drops into recovery (pause workload).
 	OnEnter func(node int)
 	// OnComplete fires when this node's recovery finishes.
@@ -209,6 +215,13 @@ type Agent struct {
 	// dead is set when the node's hardware fails: the agent (which runs
 	// on the node's processor) stops executing entirely.
 	dead bool
+
+	// Pre-resolved machine-wide metric instruments (nil-safe).
+	mGossipRounds  *metrics.Counter
+	mBFTBoundHits  *metrics.Counter
+	mDrainAttempts *metrics.Counter
+	mDrainRestarts *metrics.Counter
+	mRestarts      *metrics.Counter
 }
 
 type pongDest struct {
@@ -223,6 +236,11 @@ func NewAgent(e *sim.Engine, net *interconnect.Network, ctrl *magic.Controller,
 	a := &Agent{
 		ID: ctrl.ID, E: e, Net: net, Ctrl: ctrl, Topo: topo, cfg: cfg,
 	}
+	a.mGossipRounds = cfg.Metrics.Counter("core.gossip_rounds")
+	a.mBFTBoundHits = cfg.Metrics.Counter("core.bft_bound_hits")
+	a.mDrainAttempts = cfg.Metrics.Counter("core.drain_attempts")
+	a.mDrainRestarts = cfg.Metrics.Counter("core.drain_restarts")
+	a.mRestarts = cfg.Metrics.Counter("core.recovery_restarts")
 	ctrl.SetTriggerHandler(a.Trigger)
 	ctrl.SetRecoveryHandler(a.handlePacket)
 	return a
@@ -348,6 +366,7 @@ func (a *Agent) restartTo(epoch int) {
 	if a.report != nil {
 		a.report.Restarts++
 	}
+	a.mRestarts.Inc()
 	reason := magic.ReasonPing
 	if a.report != nil {
 		reason = a.report.Reason

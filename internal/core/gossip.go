@@ -41,6 +41,7 @@ func (a *Agent) sendRound() {
 		if a.phase != PhaseDissemination || a.round != round {
 			return
 		}
+		a.mGossipRounds.Inc()
 		for _, q := range a.cwn {
 			a.sendRec(q, a.cwnPath[q], interconnect.LaneRecoveryA, &recMsg{
 				Kind: kState, Round: round,
@@ -147,6 +148,7 @@ func (a *Agent) afterMerge() {
 			}
 			if bound > a.target {
 				a.target = bound
+				a.mBFTBoundHits.Inc()
 			}
 			a.hint = bound
 			a.advanceRound()

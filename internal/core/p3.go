@@ -51,12 +51,14 @@ func (a *Agent) isolateRouter(r int) {
 // proceed after seeing no stalled-traffic delivery for τ; confirm in a
 // second phase that nothing arrived since the first vote, else restart.
 func (a *Agent) startDrain(attempt int) {
+	a.mDrainAttempts.Inc()
 	nameA := fmt.Sprintf("drain-a#%d", attempt)
 	nameB := fmt.Sprintf("drain-b#%d", attempt)
 	a.startBarrier(nameA, func(bool) {
 		dirty := a.Ctrl.LastNormalDelivery() > a.voteAt
 		a.startBarrier(nameB, func(dirty bool) {
 			if dirty {
+				a.mDrainRestarts.Inc()
 				a.startDrain(attempt + 1)
 				return
 			}

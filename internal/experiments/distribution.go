@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"flashfc/internal/metrics"
 	"flashfc/internal/runner"
 	"flashfc/internal/stats"
 )
@@ -21,6 +22,9 @@ type Distribution struct {
 	// Stats is the campaign's host-side throughput accounting; it is the
 	// only field that depends on wall-clock rather than simulated state.
 	Stats runner.Stats
+	// Metrics is the campaign aggregate: every non-crashed run's metric
+	// snapshot, merged in run order.
+	Metrics *metrics.Snapshot
 }
 
 // RecoveryDistribution measures per-phase recovery times over `seeds`
@@ -47,7 +51,11 @@ func RecoveryDistribution(cfg ScalingConfig, seeds int) Distribution {
 	d.Stats = st
 
 	var p1, p2, p3, p4, total []float64
+	snaps := make([]*metrics.Snapshot, 0, len(results))
 	for _, r := range results {
+		if r.Err == nil {
+			snaps = append(snaps, r.Value.Metrics)
+		}
 		if r.Err != nil || !r.Value.OK {
 			d.Failed++
 			continue
@@ -64,5 +72,6 @@ func RecoveryDistribution(cfg ScalingConfig, seeds int) Distribution {
 	d.P3 = stats.Summarize(p3)
 	d.P4 = stats.Summarize(p4)
 	d.Total = stats.Summarize(total)
+	d.Metrics = runner.MergeMetrics(snaps)
 	return d
 }

@@ -4,6 +4,7 @@ import (
 	"flashfc/internal/fault"
 	"flashfc/internal/hive"
 	"flashfc/internal/machine"
+	"flashfc/internal/metrics"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 )
@@ -62,6 +63,9 @@ type EndToEndResult struct {
 	Note    string
 	// Events is the number of simulated events the run's engine fired.
 	Events uint64
+	// Metrics is the run's machine-wide metric snapshot (always set, even
+	// when recovery fails); campaigns merge them per fault type.
+	Metrics *metrics.Snapshot
 }
 
 // OK reports whether the run counts as successful: every compile not
@@ -86,7 +90,10 @@ func EndToEnd(cfg EndToEndConfig, ft fault.Type, seed int64) *EndToEndResult {
 	// router and link faults may still take it out.
 	f := fault.Random(m.E.Rand(), ft, m.Topo, cfg.NodesPerCell)
 	res := &EndToEndResult{Fault: f}
-	defer func() { res.Events = m.E.EventsFired() }()
+	defer func() {
+		res.Events = m.E.EventsFired()
+		res.Metrics = m.MetricsSnapshot()
+	}()
 	window := int64(cfg.InjectMax - cfg.InjectMin)
 	at := cfg.InjectMin
 	if window > 0 {
@@ -134,6 +141,9 @@ type Table54Row struct {
 	Fault  fault.Type
 	Runs   int
 	Failed int
+	// Metrics is the fault type's batch aggregate: the per-run snapshots
+	// of every non-crashed run, merged in run order.
+	Metrics *metrics.Snapshot
 }
 
 // EndToEndBatch runs `runs` independent end-to-end experiments of one
@@ -162,11 +172,16 @@ func Table54(cfg EndToEndConfig, runsPer map[fault.Type]int, seed int64) ([]Tabl
 		runs := runsPer[ft]
 		row := Table54Row{Fault: ft, Runs: runs}
 		results, stats := EndToEndBatch(cfg, ft, runs, seed)
+		snaps := make([]*metrics.Snapshot, 0, len(results))
 		for _, r := range results {
 			if r.Err != nil || !r.Value.OK() {
 				row.Failed++
 			}
+			if r.Err == nil {
+				snaps = append(snaps, r.Value.Metrics)
+			}
 		}
+		row.Metrics = runner.MergeMetrics(snaps)
 		total.Merge(stats)
 		rows = append(rows, row)
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
+	"flashfc/internal/metrics"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/workload"
@@ -65,6 +66,9 @@ type ScalingPoint struct {
 	OK     bool
 	// Events is the number of simulated events the run's engine fired.
 	Events uint64
+	// Metrics is the run's machine-wide metric snapshot; sweeps merge the
+	// points' snapshots into a campaign aggregate.
+	Metrics *metrics.Snapshot
 }
 
 // MeasureRecovery builds the machine, fills caches lightly, injects a node
@@ -100,11 +104,12 @@ func MeasureRecovery(cfg ScalingConfig) ScalingPoint {
 	m.Nodes[0].CPU.Submit(workload.TouchOp(m, victim))
 	ok := m.RunUntilRecovered(cfg.Deadline)
 	return ScalingPoint{
-		Nodes:  cfg.Nodes,
-		X:      float64(cfg.Nodes),
-		Phases: m.Aggregate(),
-		OK:     ok,
-		Events: m.E.EventsFired(),
+		Nodes:   cfg.Nodes,
+		X:       float64(cfg.Nodes),
+		Phases:  m.Aggregate(),
+		OK:      ok,
+		Events:  m.E.EventsFired(),
+		Metrics: m.MetricsSnapshot(),
 	}
 }
 

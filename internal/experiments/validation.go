@@ -12,6 +12,7 @@ import (
 
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
+	"flashfc/internal/metrics"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/trace"
@@ -28,6 +29,9 @@ type ValidationResult struct {
 	// Events is the number of simulated events the run's engine fired;
 	// campaigns aggregate it into events/sec throughput.
 	Events uint64
+	// Metrics is the run's machine-wide metric snapshot (always set, even
+	// when recovery fails); campaigns merge and summarize them.
+	Metrics *metrics.Snapshot
 }
 
 // OK reports whether the run counts as passed: recovery completed and the
@@ -56,8 +60,9 @@ type ValidationConfig struct {
 	// it. Any worker count yields bit-identical results.
 	Workers int
 	// Trace, when non-nil, collects the run's event timeline. It applies
-	// to single Validation runs only: batch drivers clear it, since one
-	// tracer cannot soundly be shared across concurrent runs.
+	// to single Validation runs only: batch drivers clear it — the tracer
+	// itself is safe to share across goroutines, but interleaving many
+	// runs' simulated timelines into one trace produces nonsense.
 	Trace *trace.Tracer
 	// runHook, when non-nil, runs at the start of every batch run with
 	// the run index. Test-only: it lets the suite crash a chosen run and
@@ -93,7 +98,10 @@ func Validation(cfg ValidationConfig, ft fault.Type, seed int64) *ValidationResu
 	m := machine.New(mc)
 	f := fault.Random(m.E.Rand(), ft, m.Topo, 1)
 	res := &ValidationResult{Fault: f}
-	defer func() { res.Events = m.E.EventsFired() }()
+	defer func() {
+		res.Events = m.E.EventsFired()
+		res.Metrics = m.MetricsSnapshot()
+	}()
 
 	filler := workload.NewFiller(m)
 	if cfg.FillLines > 0 && cfg.FillLines < filler.FillLines {
@@ -151,6 +159,9 @@ type Table53Row struct {
 	Fault  fault.Type
 	Runs   int
 	Failed int
+	// Metrics is the fault type's batch aggregate: the per-run snapshots
+	// of every non-crashed run, merged in run order.
+	Metrics *metrics.Snapshot
 }
 
 // ValidationBatch runs `runs` independent validation experiments of one
@@ -182,11 +193,16 @@ func Table53(cfg ValidationConfig, runs int, seed int64) ([]Table53Row, runner.S
 	for _, ft := range fault.AllTypes() {
 		row := Table53Row{Fault: ft, Runs: runs}
 		results, stats := ValidationBatch(cfg, ft, runs, seed)
+		snaps := make([]*metrics.Snapshot, 0, len(results))
 		for _, r := range results {
 			if r.Err != nil || !r.Value.OK() {
 				row.Failed++
 			}
+			if r.Err == nil {
+				snaps = append(snaps, r.Value.Metrics)
+			}
 		}
+		row.Metrics = runner.MergeMetrics(snaps)
 		total.Merge(stats)
 		rows = append(rows, row)
 	}

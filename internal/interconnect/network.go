@@ -3,6 +3,7 @@ package interconnect
 import (
 	"fmt"
 
+	"flashfc/internal/metrics"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
 	"flashfc/internal/topology"
@@ -24,6 +25,10 @@ type Config struct {
 	RecoveryHeadDrop sim.Time
 	// LoopbackDelay is the delivery delay for node-to-self packets.
 	LoopbackDelay sim.Time
+	// Metrics, when non-nil, receives fabric counters (per-lane traffic,
+	// truncations, black holes, backpressure stalls). Nil disables
+	// reporting at zero cost: the instruments are nil-safe.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the standard fabric parameters.
@@ -101,6 +106,14 @@ type Network struct {
 	// retained holds packets awaiting end-to-end retransmission in
 	// reliable mode.
 	retained []*Packet
+
+	// Metric instruments, pre-resolved in New so the hot paths avoid map
+	// lookups. All are nil-safe when no registry is configured.
+	mLanePackets [NumLanes]*metrics.Counter
+	mLaneFlits   [NumLanes]*metrics.Counter
+	mTruncated   *metrics.Counter
+	mBlackholed  *metrics.Counter
+	mStalls      *metrics.Counter
 }
 
 func (n *Network) lost(p *Packet) {
@@ -156,6 +169,13 @@ func New(e *sim.Engine, topo *topology.Topology, cfg Config) *Network {
 	for i := range n.linkUp {
 		n.linkUp[i] = true
 	}
+	for l := Lane(0); l < NumLanes; l++ {
+		n.mLanePackets[l] = cfg.Metrics.Counter("interconnect.lane." + l.String() + ".packets")
+		n.mLaneFlits[l] = cfg.Metrics.Counter("interconnect.lane." + l.String() + ".flits")
+	}
+	n.mTruncated = cfg.Metrics.Counter("interconnect.truncated_packets")
+	n.mBlackholed = cfg.Metrics.Counter("interconnect.blackholed_packets")
+	n.mStalls = cfg.Metrics.Counter("interconnect.backpressure_stalls")
 	tables := topology.DefaultTables(topo)
 	for r := range n.routers {
 		deg := topo.Degree(r)
@@ -271,6 +291,7 @@ func (n *Network) FailLink(l int) {
 	n.linkUp[l] = false
 	for pkt := range n.inTransit[l] {
 		pkt.Truncated = true
+		n.mTruncated.Inc()
 		n.lost(pkt)
 	}
 }
@@ -294,6 +315,8 @@ func (n *Network) InFlight() int {
 // fabric rather than at the injection point.
 func (n *Network) Send(p *Packet) {
 	n.Stats.Injected++
+	n.mLanePackets[p.Lane].Inc()
+	n.mLaneFlits[p.Lane].Add(uint64(flits(p)))
 	p.Injected = n.E.Now()
 	if p.SourceRoute != nil {
 		if len(p.SourceRoute) == 0 || p.SourceRoute[0] != p.Src {
@@ -368,6 +391,7 @@ func (n *Network) kick(ch *channel) {
 		n.lost(pkt)
 		ch.q = ch.q[1:]
 		n.Stats.DroppedLink++
+		n.mBlackholed.Inc()
 		n.wakeWaiters(ch)
 		n.kick(ch)
 		return
@@ -397,6 +421,7 @@ func (n *Network) arrive(ch *channel, pkt *Packet, link int) {
 		n.lost(pkt)
 		n.popHead(ch)
 		n.Stats.DroppedLink++
+		n.mBlackholed.Inc()
 		return
 	}
 	n.advance(ch, pkt)
@@ -477,6 +502,7 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 func (n *Network) block(ch *channel, pkt *Packet) {
 	ch.blocked = true
 	ch.blockedAt = n.E.Now()
+	n.mStalls.Inc()
 	if pkt.Lane.IsRecovery() {
 		n.E.After(n.cfg.RecoveryHeadDrop, func() {
 			if ch.blocked && len(ch.q) > 0 && ch.q[0] == pkt {

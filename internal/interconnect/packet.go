@@ -88,6 +88,12 @@ func serviceTime(p *Packet) sim.Time {
 		sim.Time(p.Bytes+timing.HeaderBytes)*timing.LinkBytePeriod
 }
 
+// flits is the packet's length in header-sized flow-control units, rounded
+// up; used for the per-lane traffic metrics.
+func flits(p *Packet) int {
+	return (p.Bytes + timing.HeaderBytes + timing.HeaderBytes - 1) / timing.HeaderBytes
+}
+
 // Endpoint is the node-controller side of the fabric. Accept is called when
 // a packet reaches its destination router; returning false refuses the
 // packet (controller input full, or a controller stuck in an infinite loop),

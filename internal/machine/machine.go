@@ -15,6 +15,7 @@ import (
 	"flashfc/internal/fault"
 	"flashfc/internal/interconnect"
 	"flashfc/internal/magic"
+	"flashfc/internal/metrics"
 	"flashfc/internal/proc"
 	"flashfc/internal/sim"
 	"flashfc/internal/topology"
@@ -93,6 +94,10 @@ type Machine struct {
 	Space  coherence.AddrSpace
 	Nodes  []*Node
 	Oracle *Oracle
+	// Metrics is the machine-wide registry every layer reports into. Each
+	// machine owns its own registry — no globals — so parallel campaign
+	// runs stay independent and bit-identical.
+	Metrics *metrics.Registry
 
 	// truth is the harness's ground-truth hardware state (what was
 	// actually injected), independent of what the algorithm discovers.
@@ -139,21 +144,26 @@ func New(cfg Config) *Machine {
 		topo = topology.NewMesh(w, h)
 	}
 	e := sim.NewEngine(cfg.Seed)
+	reg := metrics.NewRegistry()
 	icfg := interconnect.DefaultConfig()
 	icfg.Reliable = cfg.ReliableInterconnect
+	icfg.Metrics = reg
 	net := interconnect.New(e, topo, icfg)
 	space := coherence.AddrSpace{Nodes: cfg.Nodes, MemBytes: cfg.MemBytes, VectorTop: cfg.VectorTop}
 	m := &Machine{
 		Cfg: cfg, E: e, Topo: topo, Net: net, Space: space,
 		Oracle:    NewOracle(),
+		Metrics:   reg,
 		truth:     topology.NewView(topo),
 		ctrlDead:  map[int]bool{},
 		reports:   map[int]*core.Report{},
 		expecting: map[int]bool{},
 	}
 	net.OnLost = m.Oracle.PacketLost
+	cfg.Magic.Metrics = reg
 
 	rcfg := cfg.Recovery
+	rcfg.Metrics = reg
 	rcfg.ReliableInterconnect = rcfg.ReliableInterconnect || cfg.ReliableInterconnect
 	rcfg.FailureUnits = cfg.FailureUnits
 	rcfg.L2ChargeLines = int(cfg.L2Bytes / 128)
@@ -255,6 +265,7 @@ func (m *Machine) FalseAlarm(id int) {
 // Inject applies f now.
 func (m *Machine) Inject(f fault.Fault) {
 	m.Cfg.Trace.Record(m.E.Now(), -1, trace.KindFault, "%v", f)
+	m.Metrics.Counter("machine.faults_injected").Inc()
 	f.Apply(m)
 }
 
@@ -366,11 +377,44 @@ func (m *Machine) agentDone(r *core.Report) {
 		}
 	}
 	m.recovered = true
+	m.observeRecovery()
 	if m.OnAllRecovered != nil {
 		m.OnAllRecovered(m.reports)
 		return
 	}
 	m.ResumeSurvivors()
+}
+
+// observeRecovery folds one completed machine-wide recovery into the metrics
+// registry: per-phase latency distributions (the Fig 5.5 quantities) and the
+// shutdown count.
+func (m *Machine) observeRecovery() {
+	m.Metrics.Counter("machine.recoveries").Inc()
+	for _, r := range m.reports {
+		if r.ShutDown || r.Isolated {
+			m.Metrics.Counter("machine.nodes_shutdown").Inc()
+		}
+	}
+	pt := m.Aggregate()
+	if pt.Participants == 0 {
+		return
+	}
+	m.Metrics.Histogram("machine.phase_p1").Observe(int64(pt.P1))
+	m.Metrics.Histogram("machine.phase_p2").Observe(int64(pt.P2Time()))
+	m.Metrics.Histogram("machine.phase_p3").Observe(int64(pt.P123 - pt.P12))
+	m.Metrics.Histogram("machine.phase_p4").Observe(int64(pt.P4Time()))
+	m.Metrics.Histogram("machine.recovery_total").Observe(int64(pt.Total))
+}
+
+// MetricsSnapshot scrapes the engine-level counters into the registry and
+// returns a point-in-time snapshot of every instrument. The sim package
+// cannot import metrics (it sits below everything), so its counters are
+// pulled here rather than pushed there.
+func (m *Machine) MetricsSnapshot() *metrics.Snapshot {
+	m.Metrics.Counter("sim.events_fired").Set(m.E.EventsFired())
+	m.Metrics.Counter("sim.heap_compactions").Set(m.E.Compactions())
+	m.Metrics.Gauge("sim.events_pending").Set(int64(m.E.Pending()))
+	return m.Metrics.Snapshot()
 }
 
 // ResumeSurvivors resumes the CPUs of every node that completed recovery

@@ -13,6 +13,7 @@ import (
 
 	"flashfc/internal/coherence"
 	"flashfc/internal/interconnect"
+	"flashfc/internal/metrics"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
 )
@@ -121,6 +122,11 @@ type Config struct {
 	NAKRetryDelay sim.Time
 	// CacheHitTime is the latency of a local L2 hit.
 	CacheHitTime sim.Time
+	// Metrics, when non-nil, receives machine-wide controller counters
+	// (firewall/range denials, NAK traffic, timeouts). All controllers of
+	// one machine share the registry; instrument names are global, not
+	// per-node.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper-calibrated controller parameters.
@@ -224,6 +230,13 @@ type Controller struct {
 	uncachedHandler func(src int, payload any) (any, error)
 
 	Stats Stats
+
+	// Pre-resolved machine-wide metric instruments (nil-safe).
+	mFirewallDenied *metrics.Counter
+	mRangeDenied    *metrics.Counter
+	mNAKsSent       *metrics.Counter
+	mNAKsReceived   *metrics.Counter
+	mTimeouts       *metrics.Counter
 }
 
 // New wires a controller to its node's state and registers it as the
@@ -240,6 +253,11 @@ func New(e *sim.Engine, net *interconnect.Network, id int, space coherence.AddrS
 	for i := range c.nodeUp {
 		c.nodeUp[i] = true
 	}
+	c.mFirewallDenied = cfg.Metrics.Counter("magic.firewall_denied")
+	c.mRangeDenied = cfg.Metrics.Counter("magic.range_denied")
+	c.mNAKsSent = cfg.Metrics.Counter("magic.naks_sent")
+	c.mNAKsReceived = cfg.Metrics.Counter("magic.naks_received")
+	c.mTimeouts = cfg.Metrics.Counter("magic.mem_op_timeouts")
 	net.SetEndpoint(id, c)
 	return c
 }

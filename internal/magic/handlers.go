@@ -61,6 +61,7 @@ func (c *Controller) handle(msg *coherence.Message) {
 func (c *Controller) reply(req int, ty coherence.MsgType, addr coherence.Addr, seq uint64, data uint64) {
 	if ty == coherence.MsgNak {
 		c.Stats.NAKsSent++
+		c.mNAKsSent.Inc()
 	}
 	if ty == coherence.MsgBusErr {
 		c.Stats.BusErrors++
@@ -108,6 +109,7 @@ func (c *Controller) handleGet(msg *coherence.Message) {
 func (c *Controller) handleGetX(msg *coherence.Message) {
 	if !c.firewallAllows(msg.Addr, msg.Req) {
 		c.Stats.FirewallDenied++
+		c.mFirewallDenied.Inc()
 		c.reply(msg.Req, coherence.MsgBusErr, msg.Addr, msg.Seq, 0)
 		return
 	}
@@ -319,6 +321,7 @@ func (c *Controller) handleReply(msg *coherence.Message) {
 		c.completeMSHR(m, Result{Token: tok})
 	case coherence.MsgNak:
 		c.Stats.NAKsReceived++
+		c.mNAKsReceived.Inc()
 		m.naks++
 		if m.naks >= c.cfg.NAKLimit {
 			// NAK counter overflow: likely deadlock after a failure

@@ -34,6 +34,7 @@ func (c *Controller) access(addr coherence.Addr, excl, hasStore bool, storeTok u
 	// local protocol processor (§3.3).
 	if excl && c.rangeDenied(addr) {
 		c.Stats.RangeDenied++
+		c.mRangeDenied.Inc()
 		c.completeErr(cb, ErrBusError)
 		return
 	}
@@ -109,6 +110,7 @@ func (c *Controller) armTimeout(m *mshr) {
 			return
 		}
 		c.Stats.Timeouts++
+		c.mTimeouts.Inc()
 		c.trigger(ReasonTimeout)
 	})
 }

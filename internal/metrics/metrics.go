@@ -1,0 +1,435 @@
+// Package metrics is the machine-wide telemetry layer of the simulator: a
+// zero-dependency, deterministic registry of named counters, gauges and
+// simulated-time histograms that every simulation layer reports into. The
+// paper's whole evaluation (§5) is built on counters of exactly this kind —
+// detection-trigger counts (NAKs, memory-operation timeouts), per-phase
+// recovery latencies, gossip rounds, drain attempts, per-lane interconnect
+// traffic — so the registry gives the experiment drivers one uniform way to
+// surface them.
+//
+// Design constraints, in order:
+//
+//   - Determinism. A Snapshot's rendering (table or JSON) depends only on
+//     the recorded values, never on map iteration order, wall-clock time or
+//     host parallelism; campaigns that merge per-run snapshots in run order
+//     produce byte-identical output for any worker count.
+//   - No globals. Every Machine owns its own Registry, so concurrent runs
+//     in a parallel campaign never share metric state and stay race-free.
+//   - Nil safety. A nil *Registry hands out nil instruments whose methods
+//     are no-ops, so instrumented code needs no conditionals on the hot
+//     path.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v uint64 }
+
+// Inc adds one. Safe on a nil counter (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n. Safe on a nil counter (no-op).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Set overwrites the count. It exists for scraped counters — values pulled
+// from a component that keeps its own tally (e.g. the sim engine) — where
+// re-scraping must be idempotent. Safe on a nil counter (no-op).
+func (c *Counter) Set(v uint64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level (queue depth, pending events).
+type Gauge struct{ v int64 }
+
+// Set records the current level. Safe on a nil gauge (no-op).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last recorded level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram bucket boundaries: fixed log-spaced (1-2-5 per decade) upper
+// bounds in simulated nanoseconds, 100 ns .. 10 s, plus an overflow bucket.
+// Fixed boundaries keep every histogram mergeable bucket-for-bucket across
+// runs and machines.
+var bucketBounds = buildBounds()
+
+func buildBounds() []int64 {
+	var b []int64
+	for decade := int64(100); decade <= 1e9; decade *= 10 {
+		for _, m := range []int64{1, 2, 5} {
+			b = append(b, decade*m)
+		}
+	}
+	return b // last bound is 5e11 ns = 500 s; beyond that is the overflow bucket
+}
+
+// BucketBounds returns the shared histogram boundaries (upper bounds, ns).
+func BucketBounds() []int64 { return append([]int64(nil), bucketBounds...) }
+
+// Histogram accumulates simulated-time observations (int64 nanoseconds,
+// i.e. sim.Time values) into the fixed log-spaced buckets.
+type Histogram struct {
+	count    uint64
+	sum      int64
+	min, max int64
+	buckets  []uint64 // len(bucketBounds)+1; last is overflow
+}
+
+// Observe records one value. Safe on a nil histogram (no-op).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.Search(len(bucketBounds), func(i int) bool { return bucketBounds[i] >= v })
+	h.buckets[i]++
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observations (0 for a nil histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry is one machine's metric namespace. Instruments are created on
+// first use and shared by name, so e.g. every node controller incrementing
+// "magic.naks_sent" feeds one machine-wide counter. A Registry is not
+// synchronized: a simulated machine is single-threaded, and parallel
+// campaigns give every run its own registry.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{buckets: make([]uint64, len(bucketBounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one non-empty histogram bucket: N observations with value
+// <= Le nanoseconds. Le == -1 marks the overflow bucket.
+type Bucket struct {
+	Le int64  `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram. Only non-empty
+// buckets are retained, which keeps snapshots small without costing
+// determinism (emptiness is a pure function of the observations).
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a frozen, serializable view of a registry. Maps marshal with
+// sorted keys (encoding/json guarantees this), so the JSON encoding of a
+// snapshot is a stable byte sequence for identical values.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current state. A nil registry yields an
+// empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for i, n := range h.buckets {
+			if n == 0 {
+				continue
+			}
+			le := int64(-1) // overflow
+			if i < len(bucketBounds) {
+				le = bucketBounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, Bucket{Le: le, N: n})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Merge folds other into s: counters and gauges add, histograms combine
+// bucket-for-bucket. Merging is commutative and associative, so a campaign
+// folding per-run snapshots yields the same aggregate for any run order —
+// though drivers still merge in run-index order for clarity.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, oh := range other.Histograms {
+		h, ok := s.Histograms[name]
+		if !ok {
+			s.Histograms[name] = oh
+			continue
+		}
+		if oh.Count > 0 && (h.Count == 0 || oh.Min < h.Min) {
+			h.Min = oh.Min
+		}
+		if oh.Count > 0 && (h.Count == 0 || oh.Max > h.Max) {
+			h.Max = oh.Max
+		}
+		h.Count += oh.Count
+		h.Sum += oh.Sum
+		h.Buckets = mergeBuckets(h.Buckets, oh.Buckets)
+		s.Histograms[name] = h
+	}
+}
+
+// mergeBuckets unions two sorted non-empty-bucket lists, adding counts of
+// equal boundaries. The overflow bucket (Le == -1) sorts last.
+func mergeBuckets(a, b []Bucket) []Bucket {
+	key := func(le int64) int64 {
+		if le == -1 {
+			return int64(^uint64(0) >> 1) // max int64: overflow sorts last
+		}
+		return le
+	}
+	out := make([]Bucket, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case key(a[i].Le) == key(b[j].Le):
+			out = append(out, Bucket{Le: a[i].Le, N: a[i].N + b[j].N})
+			i++
+			j++
+		case key(a[i].Le) < key(b[j].Le):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// MergeSnapshots folds snaps (in order) into one aggregate snapshot.
+func MergeSnapshots(snaps []*Snapshot) *Snapshot {
+	out := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range snaps {
+		out.Merge(s)
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot with stable key order (map keys sort).
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal((*alias)(s))
+}
+
+// WriteJSON writes the snapshot as indented JSON followed by a newline.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// fmtNS renders a nanosecond quantity with an adaptive unit, mirroring
+// sim.Time.String without importing it (metrics stays dependency-free).
+func fmtNS(ns int64) string {
+	abs := ns
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case ns == 0:
+		return "0s"
+	case abs >= 1e9:
+		return trimZeros(fmt.Sprintf("%.3f", float64(ns)/1e9)) + "s"
+	case abs >= 1e6:
+		return trimZeros(fmt.Sprintf("%.3f", float64(ns)/1e6)) + "ms"
+	case abs >= 1e3:
+		return trimZeros(fmt.Sprintf("%.3f", float64(ns)/1e3)) + "us"
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func trimZeros(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// WriteTable renders the snapshot as a sorted fixed-width text table: one
+// row per metric, counters then gauges then histograms, each block sorted
+// by name.
+func (s *Snapshot) WriteTable(w io.Writer) {
+	width := 0
+	names := func(m ...string) {
+		for _, n := range m {
+			if len(n) > width {
+				width = len(n)
+			}
+		}
+	}
+	for n := range s.Counters {
+		names(n)
+	}
+	for n := range s.Gauges {
+		names(n)
+	}
+	for n := range s.Histograms {
+		names(n)
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "counter    %-*s  %d\n", width, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "gauge      %-*s  %d\n", width, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			fmt.Fprintf(w, "histogram  %-*s  n=0\n", width, name)
+			continue
+		}
+		mean := h.Sum / int64(h.Count)
+		fmt.Fprintf(w, "histogram  %-*s  n=%d min=%s mean=%s max=%s sum=%s\n",
+			width, name, h.Count, fmtNS(h.Min), fmtNS(mean), fmtNS(h.Max), fmtNS(h.Sum))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

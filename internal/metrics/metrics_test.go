@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("counter not shared by name")
+	}
+	g := r.Gauge("a.level")
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	h := r.Histogram("a.lat")
+	h.Observe(150)       // -> 200ns bucket
+	h.Observe(150)       // -> 200ns bucket
+	h.Observe(3_000_000) // -> 5ms bucket
+	if h.Count() != 3 || h.Sum() != 3_000_300 {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["a.lat"]
+	if hs.Min != 150 || hs.Max != 3_000_000 {
+		t.Fatalf("hist min=%d max=%d", hs.Min, hs.Max)
+	}
+	if len(hs.Buckets) != 2 || hs.Buckets[0].Le != 200 || hs.Buckets[0].N != 2 {
+		t.Fatalf("buckets = %+v", hs.Buckets)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(10)
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 || r.Histogram("x").Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestBucketBoundsLogSpaced(t *testing.T) {
+	b := BucketBounds()
+	if b[0] != 100 {
+		t.Fatalf("first bound = %d", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d: %d <= %d", i, b[i], b[i-1])
+		}
+	}
+	// Overflow observations land in the catch-all bucket.
+	r := NewRegistry()
+	h := r.Histogram("big")
+	h.Observe(b[len(b)-1] + 1)
+	hs := r.Snapshot().Histograms["big"]
+	if len(hs.Buckets) != 1 || hs.Buckets[0].Le != -1 {
+		t.Fatalf("overflow bucket = %+v", hs.Buckets)
+	}
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n).Add(uint64(len(n)))
+		}
+		r.Gauge("g.z").Set(2)
+		r.Gauge("g.a").Set(1)
+		r.Histogram("h.t").Observe(1500)
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := build([]string{"c.b", "c.a", "c.c"})
+	b := build([]string{"c.c", "c.a", "c.b"})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("JSON depends on insertion order:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"c.a":3`) {
+		t.Fatalf("unexpected JSON: %s", a)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(v uint64, lat int64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("c").Add(v)
+		r.Gauge("g").Set(int64(v))
+		r.Histogram("h").Observe(lat)
+		return r.Snapshot()
+	}
+	merged := MergeSnapshots([]*Snapshot{mk(1, 100), mk(2, 1_000_000_000_000)})
+	if merged.Counters["c"] != 3 || merged.Gauges["g"] != 3 {
+		t.Fatalf("merged scalars: %+v", merged)
+	}
+	h := merged.Histograms["h"]
+	if h.Count != 2 || h.Min != 100 || h.Max != 1_000_000_000_000 {
+		t.Fatalf("merged hist: %+v", h)
+	}
+	// One regular bucket plus the overflow bucket, overflow last.
+	if len(h.Buckets) != 2 || h.Buckets[1].Le != -1 {
+		t.Fatalf("merged buckets: %+v", h.Buckets)
+	}
+	// Merge order must not matter.
+	rev := MergeSnapshots([]*Snapshot{mk(2, 1_000_000_000_000), mk(1, 100)})
+	ba, _ := json.Marshal(merged)
+	bb, _ := json.Marshal(rev)
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("merge not commutative:\n%s\n%s", ba, bb)
+	}
+}
+
+func TestWriteTableSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Inc()
+	r.Gauge("m.mid").Set(5)
+	r.Histogram("h.lat").Observe(2_500_000_000) // 2.5s
+	var b strings.Builder
+	r.Snapshot().WriteTable(&b)
+	out := b.String()
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5s") {
+		t.Fatalf("histogram row missing human time:\n%s", out)
+	}
+}
+
+func TestFmtNS(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0s",
+		150:           "150ns",
+		2_500:         "2.5us",
+		1_000_000:     "1ms",
+		2_500_000_000: "2.5s",
+		-2_500_000:    "-2.5ms",
+	}
+	for in, want := range cases {
+		if got := fmtNS(in); got != want {
+			t.Errorf("fmtNS(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

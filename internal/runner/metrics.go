@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"io"
+	"sort"
+
+	"flashfc/internal/metrics"
+	"flashfc/internal/stats"
+)
+
+// MergeMetrics folds per-run metric snapshots (in run-index order) into one
+// campaign aggregate. Nil entries (failed runs, runs that collected nothing)
+// are skipped.
+func MergeMetrics(snaps []*metrics.Snapshot) *metrics.Snapshot {
+	kept := make([]*metrics.Snapshot, 0, len(snaps))
+	for _, s := range snaps {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return metrics.MergeSnapshots(kept)
+}
+
+// SummarizeMetrics computes the across-run distribution of every counter and
+// gauge appearing in the per-run snapshots: one stats.Summary per metric
+// name, with each run contributing one observation (0 when the run never
+// touched the metric — a run without faults genuinely saw zero NAKs).
+func SummarizeMetrics(snaps []*metrics.Snapshot) map[string]stats.Summary {
+	live := make([]*metrics.Snapshot, 0, len(snaps))
+	names := map[string]bool{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		live = append(live, s)
+		for n := range s.Counters {
+			names[n] = true
+		}
+		for n := range s.Gauges {
+			names[n] = true
+		}
+	}
+	out := make(map[string]stats.Summary, len(names))
+	for n := range names {
+		xs := make([]float64, 0, len(live))
+		for _, s := range live {
+			if v, ok := s.Counters[n]; ok {
+				xs = append(xs, float64(v))
+			} else {
+				xs = append(xs, float64(s.Gauges[n]))
+			}
+		}
+		out[n] = stats.Summarize(xs)
+	}
+	return out
+}
+
+// WriteMetricsSummary renders SummarizeMetrics output as a sorted table, one
+// row per metric.
+func WriteMetricsSummary(w io.Writer, sums map[string]stats.Summary) {
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := stats.NewTable("metric", "per-run distribution")
+	for _, n := range names {
+		t.AddRow(n, sums[n].String())
+	}
+	io.WriteString(w, t.String())
+}

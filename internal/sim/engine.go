@@ -22,13 +22,19 @@ const (
 	Second           = 1000 * Millisecond
 )
 
-// String formats the time with an adaptive unit, e.g. "1.5ms" or "320ns".
+// String formats the time with an adaptive unit, e.g. "2.5s", "1.500ms" or
+// "320ns". The unit cascade selects by magnitude: values of at least one
+// second print in seconds (mixed values like 2*Second+500*Millisecond render
+// as "2.5s", not "2500.000ms"), then milliseconds, then microseconds, then
+// raw nanoseconds; negative values mirror their positive counterparts.
 func (t Time) String() string {
 	switch {
 	case t == 0:
 		return "0s"
 	case t%Second == 0:
 		return fmt.Sprintf("%ds", t/Second)
+	case t >= Second || t <= -Second:
+		return trimZeros(fmt.Sprintf("%.3f", float64(t)/float64(Second))) + "s"
 	case t >= Millisecond || t <= -Millisecond:
 		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
 	case t >= Microsecond || t <= -Microsecond:
@@ -36,6 +42,17 @@ func (t Time) String() string {
 	default:
 		return fmt.Sprintf("%dns", int64(t))
 	}
+}
+
+// trimZeros drops trailing fractional zeros ("2.500" -> "2.5").
+func trimZeros(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
 }
 
 // Seconds returns the time as a floating-point number of seconds.
@@ -93,6 +110,9 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+	// compactions counts heap rebuilds that evicted cancelled events;
+	// surfaced through the machine-wide metrics registry.
+	compactions uint64
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -113,6 +133,9 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Pending reports how many live (non-cancelled) events are still queued.
 func (e *Engine) Pending() int { return e.live }
+
+// Compactions reports how many cancelled-event heap compactions have run.
+func (e *Engine) Compactions() uint64 { return e.compactions }
 
 // Timer identifies a scheduled event so that it can be canceled.
 type Timer struct {
@@ -146,6 +169,7 @@ func (e *Engine) maybeCompact() {
 	if len(e.events) < compactMin || 2*e.live >= len(e.events) {
 		return
 	}
+	e.compactions++
 	kept := e.events[:0]
 	for _, ev := range e.events {
 		if ev.cancel {

@@ -16,6 +16,19 @@ func TestTimeString(t *testing.T) {
 		{Microsecond + 500, "1.500us"},
 		{Millisecond, "1.000ms"},
 		{150 * Millisecond, "150.000ms"},
+		// Mixed-unit values >= 1s must print in seconds, not a huge
+		// millisecond count (regression: 2.5s rendered as "2500.000ms").
+		{2*Second + 500*Millisecond, "2.5s"},
+		{Second + Millisecond, "1.001s"},
+		{1500 * Millisecond, "1.5s"},
+		{10*Second + 250*Millisecond, "10.25s"},
+		{2 * Second, "2s"},
+		// Negatives mirror their positive counterparts through the cascade.
+		{-320, "-320ns"},
+		{-(Microsecond + 500), "-1.500us"},
+		{-150 * Millisecond, "-150.000ms"},
+		{-(2*Second + 500*Millisecond), "-2.5s"},
+		{-3 * Second, "-3s"},
 	}
 	for _, c := range cases {
 		if got := c.t.String(); got != c.want {
@@ -210,6 +223,9 @@ func TestCancelCompactsHeap(t *testing.T) {
 	}
 	if n := len(e.events); n >= 500 {
 		t.Fatalf("heap holds %d entries after mass cancel, want compacted", n)
+	}
+	if e.Compactions() == 0 {
+		t.Fatal("Compactions() = 0 after a mass cancel that shrank the heap")
 	}
 	// Cancelling a compacted-away timer again stays a no-op.
 	if timers[1].Cancel() {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"flashfc/internal/sim"
 )
@@ -40,31 +41,62 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12v  %-8s %-9s %s", e.T, who, e.Kind, e.Detail)
 }
 
-// Tracer accumulates events up to a limit (0 = unlimited).
+// Tracer accumulates events up to a limit (0 = unlimited). With a nonzero
+// limit it is a ring buffer that keeps the most recent Limit events: the
+// interesting end of a recovery timeline is its tail, so overflow drops the
+// oldest events from the head rather than silently discarding the tail.
+//
+// A Tracer is internally synchronized: Record and the read methods may be
+// called from concurrent goroutines (e.g. a tracer observed by test
+// harnesses while a campaign worker drives the machine). Events from
+// different runs still interleave into one timeline, so the batch drivers
+// keep rejecting a shared tracer for multi-run campaigns.
 type Tracer struct {
-	Limit   int
+	// Limit is the retention bound set at construction. Mutating it after
+	// events have been recorded is unsupported.
+	Limit int
+
+	mu      sync.Mutex
 	events  []Event
+	head    int // index of the oldest retained event once the ring is full
 	dropped int
 }
 
 // New returns a tracer retaining at most limit events (0 = unlimited).
 func New(limit int) *Tracer { return &Tracer{Limit: limit} }
 
-// Record appends an event.
+// Record appends an event. Once a limited tracer is full, each new event
+// overwrites the oldest retained one and Dropped grows.
 func (t *Tracer) Record(ts sim.Time, node int, kind Kind, format string, args ...any) {
 	if t == nil {
 		return
 	}
+	e := Event{T: ts, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.Limit > 0 && len(t.events) >= t.Limit {
+		t.events[t.head] = e
+		t.head = (t.head + 1) % t.Limit
 		t.dropped++
 		return
 	}
-	t.events = append(t.events, Event{T: ts, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	t.events = append(t.events, e)
+}
+
+// retained returns the kept events in insertion order (oldest first).
+// Callers must hold t.mu.
+func (t *Tracer) retained() []Event {
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
 }
 
 // Events returns the recorded timeline in chronological order.
 func (t *Tracer) Events() []Event {
-	out := append([]Event(nil), t.events...)
+	t.mu.Lock()
+	out := t.retained()
+	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
 }
@@ -80,16 +112,37 @@ func (t *Tracer) ByKind(k Kind) []Event {
 	return out
 }
 
-// Len reports recorded events; Dropped reports events lost to the limit.
-func (t *Tracer) Len() int     { return len(t.events) }
-func (t *Tracer) Dropped() int { return t.dropped }
+// Len reports recorded events; Dropped reports events lost from the head of
+// the timeline to the retention limit.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
 
-// Dump writes the timeline to w.
+func (t *Tracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Dump writes the timeline to w. A truncated timeline notes the drop count
+// and the truncation point up front, where the missing events would be.
 func (t *Tracer) Dump(w io.Writer) {
-	for _, e := range t.Events() {
-		fmt.Fprintln(w, e)
+	t.mu.Lock()
+	events := t.retained()
+	dropped, limit := t.dropped, t.Limit
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	if dropped > 0 {
+		from := "start"
+		if len(events) > 0 {
+			from = fmt.Sprintf("%v", events[0].T)
+		}
+		fmt.Fprintf(w, "(%d events dropped from the head by the %d-event limit; timeline resumes at %s)\n",
+			dropped, limit, from)
 	}
-	if t.dropped > 0 {
-		fmt.Fprintf(w, "(%d events dropped by the %d-event limit)\n", t.dropped, t.Limit)
+	for _, e := range events {
+		fmt.Fprintln(w, e)
 	}
 }

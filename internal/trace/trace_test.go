@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"flashfc/internal/sim"
@@ -32,10 +33,65 @@ func TestLimitDrops(t *testing.T) {
 	if tr.Len() != 2 || tr.Dropped() != 3 {
 		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
 	}
+	// The ring keeps the most recent events: a truncated recovery timeline
+	// must retain its tail, not its head (regression: the limit used to
+	// discard every event after the first Limit).
+	evs := tr.Events()
+	if evs[0].Detail != "e3" || evs[1].Detail != "e4" {
+		t.Fatalf("ring kept %q, %q; want the newest events e3, e4", evs[0].Detail, evs[1].Detail)
+	}
 	var b strings.Builder
 	tr.Dump(&b)
-	if !strings.Contains(b.String(), "3 events dropped") {
-		t.Fatalf("dump: %q", b.String())
+	out := b.String()
+	if !strings.Contains(out, "3 events dropped") {
+		t.Fatalf("dump: %q", out)
+	}
+	if !strings.Contains(out, "e3") || !strings.Contains(out, "e4") || strings.Contains(out, "e0") {
+		t.Fatalf("dump should show the tail of the timeline: %q", out)
+	}
+	// The truncation note states where the surviving timeline resumes.
+	if !strings.Contains(out, "resumes at 3ns") {
+		t.Fatalf("dump missing truncation point: %q", out)
+	}
+}
+
+func TestRingWrapsRepeatedly(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(sim.Time(i), i, KindNote, "e%d", i)
+	}
+	if tr.Len() != 3 || tr.Dropped() != 7 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, want := range []string{"e7", "e8", "e9"} {
+		if evs[i].Detail != want {
+			t.Fatalf("evs[%d] = %q, want %q", i, evs[i].Detail, want)
+		}
+	}
+}
+
+// Regression for the campaign data race: a tracer shared across goroutines
+// must be safe under the race detector.
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(sim.Time(i), g, KindNote, "g%d e%d", g, i)
+				_ = tr.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 64 || tr.Dropped() != 8*100-64 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	if got := len(tr.Events()); got != 64 {
+		t.Fatalf("Events len = %d", got)
 	}
 }
 
