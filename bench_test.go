@@ -330,6 +330,61 @@ func BenchmarkAblationRTLTiming(b *testing.B) {
 	b.ReportMetric(rtl/float64(b.N), "total-390ns-ms")
 }
 
+// --- Tracing overhead: disabled tracer must be free ------------------------------
+
+// The span/point/event hooks sit on simulation hot paths (packet routing,
+// gossip rounds, directory scans). A nil tracer must cost nothing: no
+// allocations, just a nil check. testing.AllocsPerRun makes the contract a
+// failing test, not a trend to eyeball.
+
+func BenchmarkTracerDisabledSpanPath(b *testing.B) {
+	var tr *flashfc.Tracer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(1, 0, "node-recovery", 0, 1)
+		tr.Point(2, 0, "pkt", "inject", 1, 3, 0)
+		tr.End(3, id)
+	}); allocs != 0 {
+		b.Fatalf("nil tracer span path allocates %.0f allocs/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.Begin(1, 0, "node-recovery", 0, 1)
+		tr.Point(2, 0, "pkt", "inject", 1, 3, 0)
+		tr.End(3, id)
+	}
+}
+
+func BenchmarkTracerDisabledRecord(b *testing.B) {
+	var tr *flashfc.Tracer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.RecordEvent(1, 0, flashfc.TraceKindNote, "noop")
+	}); allocs != 0 {
+		b.Fatalf("nil tracer RecordEvent allocates %.0f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(1, 0, flashfc.TraceKindNote, "noop")
+	}); allocs != 0 {
+		b.Fatalf("nil tracer Record allocates %.0f allocs/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.RecordEvent(1, 0, flashfc.TraceKindNote, "noop")
+	}
+}
+
+// BenchmarkTracerEnabledSpanPath is the paired enabled-path number, for
+// judging the cost of turning tracing on.
+func BenchmarkTracerEnabledSpanPath(b *testing.B) {
+	tr := flashfc.NewTracer(0)
+	root := tr.EnsureRoot(0, "recovery")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tr.Begin(flashfc.Time(i), 0, "gossip-round", root, int64(i))
+		tr.End(flashfc.Time(i)+1, id)
+	}
+}
+
 // --- §6.3: HAL-style reliable interconnect ---------------------------------------
 
 func BenchmarkAblationReliableInterconnect(b *testing.B) {

@@ -7,6 +7,8 @@
 //	flashsim -nodes 16 -fault cablecut
 //	flashsim -fault router -runs 100 -parallel 8   (multi-seed campaign)
 //	flashsim -nodes 4 -fault node -metrics-json | jq .counters
+//	flashsim -nodes 4 -fault node -trace-json trace.json   (Perfetto spans)
+//	flashsim -nodes 4 -fault node -trace-critical          (latency budget)
 //
 // The run fills the caches with the §5.2 validation workload, injects the
 // fault mid-fill, executes the recovery algorithm, verifies all of memory
@@ -21,6 +23,15 @@
 // emits the same snapshot as stable-key JSON alone on stdout — the human
 // report moves to stderr — so the output pipes into jq and is byte-identical
 // for a fixed seed regardless of -parallel.
+//
+// -trace-json writes the recovery's span tree (per-node phases, gossip
+// rounds, drain/τ agreement, flush and scan chunks) plus packet and MAGIC
+// point events as Chrome trace-event JSON, loadable at ui.perfetto.dev;
+// the bytes are deterministic for a fixed seed regardless of -parallel.
+// -trace-critical prints the recovery's critical path: the span chain that
+// explains the latency, with per-step self-times summing exactly to the
+// recovery duration and the dominant step named. Like -trace, both apply
+// to single runs only and are ignored (with a warning) in campaign mode.
 package main
 
 import (
@@ -47,6 +58,10 @@ func main() {
 	fill := flag.Int("fill", 192, "cache-fill lines per node")
 	stride := flag.Int("stride", 1, "verification stride (1 = every line)")
 	doTrace := flag.Bool("trace", false, "print the recovery event timeline (single runs)")
+	traceJSON := flag.String("trace-json", "",
+		"write the span/point trace as Chrome trace-event JSON to this file, viewable at ui.perfetto.dev (single runs)")
+	traceCritical := flag.Bool("trace-critical", false,
+		"print the recovery critical-path report: the longest-latency span chain with per-phase self-times (single runs)")
 	runs := flag.Int("runs", 1, "number of independent experiments (campaign mode when > 1)")
 	parallel := flag.Int("parallel", 0, "campaign worker goroutines (0 = one per CPU)")
 	showMetrics := flag.Bool("metrics", false, "print the metric registry after the run")
@@ -65,24 +80,25 @@ func main() {
 	cfg.FillLines = *fill
 	cfg.Stride = *stride
 	var tracer *flashfc.Tracer
-	if *doTrace {
+	if *doTrace || *traceJSON != "" || *traceCritical {
 		if *runs > 1 {
 			// The batch drivers clear any configured tracer (interleaved
 			// multi-run timelines are useless), so say so instead of
-			// silently dropping the flag.
-			fmt.Fprintln(os.Stderr, "warning: -trace is ignored in campaign mode (-runs > 1); run a single experiment to capture a timeline")
+			// silently dropping the flags.
+			fmt.Fprintln(os.Stderr, "warning: -trace/-trace-json/-trace-critical are ignored in campaign mode (-runs > 1); run a single experiment to capture a timeline")
 		} else {
 			tracer = flashfc.NewTracer(0)
 			cfg.Trace = tracer
 		}
 	}
+	topts := traceOpts{tracer: tracer, dump: *doTrace, jsonPath: *traceJSON, critical: *traceCritical}
 
 	if *topo == "hypercube" {
 		fmt.Fprintln(os.Stderr, "note: -topo hypercube applies to scaling runs; validation uses a mesh")
 	}
 	switch *faultName {
 	case "powerloss", "cablecut":
-		runCompound(cfg, *faultName, *seed, tracer, *showMetrics, *metricsJSON)
+		runCompound(cfg, *faultName, *seed, topts, *showMetrics, *metricsJSON)
 		return
 	}
 	var ft flashfc.FaultType
@@ -109,7 +125,7 @@ func main() {
 	}
 
 	r := flashfc.RunValidation(cfg, ft, *seed)
-	if tracer != nil {
+	if tracer != nil && *doTrace {
 		fmt.Fprintln(hout, "timeline:")
 		tracer.Dump(hout)
 		fmt.Fprintln(hout)
@@ -122,6 +138,7 @@ func main() {
 		fmt.Fprintf(hout, "            flush=%v  directory sweep=%v  gossip rounds=%d\n", p.WB, p.Scan, p.MaxRounds)
 		fmt.Fprintf(hout, "verify:     %v\n", r.Verify)
 	}
+	emitTrace(topts)
 	emitMetrics(r.Metrics, *showMetrics, *metricsJSON)
 	if r.OK() {
 		fmt.Fprintln(hout, "result:     PASS — fault contained, no data anomalies")
@@ -129,6 +146,41 @@ func main() {
 	}
 	fmt.Fprintf(hout, "result:     FAIL — %s\n", r.Note)
 	os.Exit(1)
+}
+
+// traceOpts bundles the trace output configuration for one run.
+type traceOpts struct {
+	tracer   *flashfc.Tracer
+	dump     bool   // -trace: human timeline
+	jsonPath string // -trace-json: Chrome trace-event file
+	critical bool   // -trace-critical: critical-path report
+}
+
+// emitTrace writes the structured trace outputs: the Chrome trace-event
+// JSON file and/or the critical-path report on the human stream.
+func emitTrace(o traceOpts) {
+	if o.tracer == nil {
+		return
+	}
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-json: %v\n", err)
+			os.Exit(1)
+		}
+		werr := o.tracer.WriteChromeJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "trace-json: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(hout, "trace:      wrote %s (open at https://ui.perfetto.dev or chrome://tracing)\n", o.jsonPath)
+	}
+	if o.critical {
+		o.tracer.WriteCriticalReport(hout)
+	}
 }
 
 // emitMetrics prints the snapshot per the output flags: a sorted table on
@@ -193,12 +245,12 @@ func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string
 // runCompound injects a §4.1 compound fault (power-supply loss of two
 // adjacent nodes, or a cable cut between the first two mesh columns) and
 // reports the recovery outcome.
-func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, tracer *flashfc.Tracer, showMetrics, metricsJSON bool) {
+func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, topts traceOpts, showMetrics, metricsJSON bool) {
 	mc := flashfc.DefaultMachineConfig(cfg.Nodes)
 	mc.Seed = seed
 	mc.MemBytes = cfg.MemBytes
 	mc.L2Bytes = cfg.L2Bytes
-	mc.Trace = tracer
+	mc.Trace = topts.tracer
 	m := flashfc.NewMachine(mc)
 	var fs []flashfc.Fault
 	switch kind {
@@ -217,11 +269,12 @@ func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, tracer *
 		}
 	})
 	ok := m.RunUntilRecovered(10 * flashfc.Second)
-	if tracer != nil {
+	if topts.tracer != nil && topts.dump {
 		fmt.Fprintln(hout, "timeline:")
-		tracer.Dump(hout)
+		topts.tracer.Dump(hout)
 	}
 	fmt.Fprintln(hout, "recovered:", ok)
+	emitTrace(topts)
 	if !ok {
 		emitMetrics(m.MetricsSnapshot(), showMetrics, metricsJSON)
 		os.Exit(1)

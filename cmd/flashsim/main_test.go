@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// The tests re-exec the test binary with FLASHSIM_MAIN=1 so that main()
+// runs exactly as the installed command would, letting us assert on the
+// real stdout/stderr split and on files it writes.
+func TestMain(m *testing.M) {
+	if os.Getenv("FLASHSIM_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runFlashsim runs main() in a child process with the given flags.
+func runFlashsim(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FLASHSIM_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("flashsim %v: %v\nstdout:\n%s\nstderr:\n%s", args, err, out.String(), errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+var fastArgs = []string{"-nodes", "4", "-fault", "node", "-mem", "65536", "-l2", "16384", "-fill", "32"}
+
+// With -metrics-json, stdout must stay JSON-only even when -trace is also
+// set: the human timeline goes to stderr with the rest of the report.
+func TestStdoutJSONOnlyWithTraceAndMetricsJSON(t *testing.T) {
+	stdout, stderr := runFlashsim(t, append(fastArgs, "-trace", "-metrics-json")...)
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(stdout), &snap); err != nil {
+		t.Fatalf("stdout is not a single JSON object: %v\nstdout:\n%s", err, stdout)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Errorf("stdout JSON lacks a counters key: %v", snap)
+	}
+	if !bytes.Contains([]byte(stderr), []byte("timeline:")) {
+		t.Errorf("human timeline not found on stderr:\n%s", stderr)
+	}
+}
+
+// -trace-json must produce a valid Chrome trace-event array whose bytes do
+// not depend on the -parallel flag.
+func TestTraceJSONValidAndIdenticalAcrossParallel(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "p1.json")
+	f8 := filepath.Join(dir, "p8.json")
+	runFlashsim(t, append(fastArgs, "-trace-json", f1, "-parallel", "1")...)
+	runFlashsim(t, append(fastArgs, "-trace-json", f8, "-parallel", "8")...)
+	b1, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(f8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("trace JSON differs between -parallel 1 and -parallel 8")
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(b1, &evs); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace array is empty")
+	}
+	for i, ev := range evs {
+		for _, key := range []string{"ph", "ts", "pid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+	}
+}
+
+// -trace-critical prints a report naming the dominant step with self-times
+// summing to the recovery duration.
+func TestTraceCriticalReport(t *testing.T) {
+	stdout, _ := runFlashsim(t, append(fastArgs, "-trace-critical")...)
+	for _, want := range []string{"critical path", "dominant:", "self-time sum"} {
+		if !bytes.Contains([]byte(stdout), []byte(want)) {
+			t.Errorf("critical report missing %q:\n%s", want, stdout)
+		}
+	}
+}

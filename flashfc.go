@@ -159,6 +159,33 @@ type TraceEvent = trace.Event
 // NewTracer returns a tracer retaining at most limit events (0: unlimited).
 func NewTracer(limit int) *Tracer { return trace.New(limit) }
 
+// Span-based causal tracing: beyond the flat timeline, a Tracer records a
+// hierarchical span tree (recovery → per-node P1–P4 → gossip rounds, drain
+// attempts, flush/scan) and causally-linked point events (packet
+// lifecycles, MAGIC denials). Export with Tracer.WriteChromeJSON
+// (Perfetto-loadable) or analyze with Tracer.CriticalPaths /
+// WriteCriticalReport.
+type (
+	// SpanID identifies one span in a Tracer's span tree (0 = none).
+	SpanID = trace.SpanID
+	// TraceSpan is one named interval of the recovery span tree.
+	TraceSpan = trace.Span
+	// TracePoint is one instantaneous causal event.
+	TracePoint = trace.Point
+	// TraceKind classifies flat timeline events.
+	TraceKind = trace.Kind
+	// CriticalPath is the longest-latency span chain of one recovery.
+	CriticalPath = trace.CriticalPath
+)
+
+// Flat timeline event kinds.
+const (
+	TraceKindFault    = trace.KindFault
+	TraceKindPhase    = trace.KindPhase
+	TraceKindComplete = trace.KindComplete
+	TraceKindNote     = trace.KindNote
+)
+
 // Metrics layer: every Machine owns a MetricsRegistry that all simulation
 // layers report into (sim engine, interconnect, MAGIC controllers, recovery
 // agents, machine harness). Machine.MetricsSnapshot freezes it; snapshots

@@ -9,6 +9,7 @@ import (
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
 	"flashfc/internal/topology"
+	"flashfc/internal/trace"
 )
 
 // Phase identifies where an agent is in the recovery algorithm (Fig 4.2).
@@ -129,6 +130,12 @@ type Config struct {
 	// watchdog restarts). Shared by every agent of one machine.
 	Metrics *metrics.Registry
 
+	// Trace, when non-nil, receives the recovery span tree (node spans,
+	// P1–P4 phase spans, gossip rounds, drain attempts, flush/scan) and
+	// the flat phase-transition timeline. Shared by every agent of one
+	// machine; nil disables tracing at zero cost.
+	Trace *trace.Tracer
+
 	// OnEnter fires when the node drops into recovery (pause workload).
 	OnEnter func(node int)
 	// OnComplete fires when this node's recovery finishes.
@@ -222,6 +229,12 @@ type Agent struct {
 	mDrainAttempts *metrics.Counter
 	mDrainRestarts *metrics.Counter
 	mRestarts      *metrics.Counter
+
+	// Open trace spans (0 when absent or tracing disabled).
+	spNode      trace.SpanID // this epoch's node-recovery span
+	spPhase     trace.SpanID // current P1–P4 phase span
+	spRound     trace.SpanID // current gossip-round span
+	spFlushWait trace.SpanID // P4 all-to-all flush barrier wait
 }
 
 type pongDest struct {
@@ -257,6 +270,19 @@ func (a *Agent) Report() *Report { return a.report }
 
 func (a *Agent) setPhase(p Phase) {
 	a.phase = p
+	if tr := a.cfg.Trace; tr != nil {
+		now := a.E.Now()
+		tr.RecordEvent(now, a.ID, trace.KindPhase, p.String())
+		tr.End(now, a.spPhase) // also closes any open round/drain sub-spans
+		a.spPhase, a.spRound = 0, 0
+		switch p {
+		case PhaseInit, PhaseDissemination, PhaseInterconnect, PhaseCoherence:
+			a.spPhase = tr.Begin(now, a.ID, p.String(), a.spNode, 0)
+		case PhaseDone, PhaseShutdown:
+			tr.End(now, a.spNode)
+			a.spNode = 0
+		}
+	}
 	if a.cfg.OnPhase != nil {
 		a.cfg.OnPhase(a.ID, p)
 	}
@@ -296,6 +322,15 @@ func (a *Agent) enter(reason magic.TriggerReason) {
 		a.report = &Report{Node: a.ID, Reason: reason, Start: a.E.Now()}
 	}
 	a.report.Epoch = a.epoch
+	if tr := a.cfg.Trace; tr != nil {
+		now := a.E.Now()
+		// On a restart the superseded epoch's span (and its open
+		// descendants) close here, at the moment the new epoch begins.
+		tr.End(now, a.spNode)
+		root := tr.EnsureRoot(now, "recovery")
+		a.spNode = tr.Begin(now, a.ID, "node-recovery", root, int64(a.epoch))
+		a.spPhase, a.spRound, a.spFlushWait = 0, 0, 0
+	}
 	a.resetState()
 	a.setPhase(PhaseInit)
 	a.Ctrl.EnterRecovery()

@@ -37,6 +37,7 @@ func (a *Agent) sendRound() {
 	charge := timing.InstrGossipRoundFixed + words*timing.InstrGossipPerWord +
 		len(a.cwn)*timing.InstrGossipPerNeighbor
 	round := a.round
+	a.spRound = a.cfg.Trace.Begin(a.E.Now(), a.ID, "gossip-round", a.spPhase, int64(round))
 	a.execInstr(charge, func() {
 		if a.phase != PhaseDissemination || a.round != round {
 			return
@@ -160,6 +161,8 @@ func (a *Agent) afterMerge() {
 
 func (a *Agent) advanceRound() {
 	a.merging = false
+	a.cfg.Trace.End(a.E.Now(), a.spRound)
+	a.spRound = 0
 	if a.round >= a.target && a.stable >= 1 {
 		a.finishDissemination()
 		return

@@ -52,11 +52,19 @@ func (a *Agent) isolateRouter(r int) {
 // second phase that nothing arrived since the first vote, else restart.
 func (a *Agent) startDrain(attempt int) {
 	a.mDrainAttempts.Inc()
+	tr := a.cfg.Trace
+	spDrain := tr.Begin(a.E.Now(), a.ID, "drain-attempt", a.spPhase, int64(attempt))
+	spVote := tr.Begin(a.E.Now(), a.ID, "drain-tau-vote", spDrain, int64(attempt))
 	nameA := fmt.Sprintf("drain-a#%d", attempt)
 	nameB := fmt.Sprintf("drain-b#%d", attempt)
 	a.startBarrier(nameA, func(bool) {
 		dirty := a.Ctrl.LastNormalDelivery() > a.voteAt
+		tr.End(a.E.Now(), spVote)
+		spConfirm := tr.Begin(a.E.Now(), a.ID, "drain-tau-confirm", spDrain, int64(attempt))
 		a.startBarrier(nameB, func(dirty bool) {
+			now := a.E.Now()
+			tr.End(now, spConfirm)
+			tr.End(now, spDrain)
 			if dirty {
 				a.mDrainRestarts.Inc()
 				a.startDrain(attempt + 1)
@@ -99,6 +107,7 @@ func (a *Agent) reprogramRoutes() {
 	if a.ID == a.root {
 		charge *= 2 // rows for orphaned routers too
 	}
+	spRoutes := a.cfg.Trace.Begin(a.E.Now(), a.ID, "route-reprogram", a.spPhase, 0)
 	a.execInstr(charge, func() {
 		tables := topology.UpDownTables(a.view, a.bft)
 		a.Net.SetRouterTable(a.ID, tables[a.ID])
@@ -110,6 +119,7 @@ func (a *Agent) reprogramRoutes() {
 			}
 		}
 		a.startBarrier("p3-post", func(bool) {
+			a.cfg.Trace.End(a.E.Now(), spRoutes)
 			a.report.P3End = a.E.Now()
 			a.startCoherenceRecovery()
 		})

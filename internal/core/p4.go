@@ -5,6 +5,7 @@ import (
 	"flashfc/internal/magic"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
+	"flashfc/internal/trace"
 )
 
 // Phase 4: cache coherence protocol recovery (§4.5): every node switches
@@ -37,11 +38,34 @@ func (a *Agent) doScanReliable() {
 	a.report.FlushEnd = a.E.Now()
 	scanTime := sim.Time(a.cfg.MemChargeLines) * timing.DirScanPerLine
 	a.armWatchdogFor(2*scanTime + a.cfg.WatchdogTimeout)
+	spScan := a.cfg.Trace.Begin(a.E.Now(), a.ID, "dir-scan", a.spPhase, 0)
+	a.traceScanChunks(spScan, scanTime)
 	a.execTime(scanTime, func() {
 		a.report.Incoherent = len(a.Ctrl.ScanDirectoryLiveness())
+		a.cfg.Trace.End(a.E.Now(), spScan)
 		a.startBarrier("p4-done", func(bool) { a.finishRecovery() })
 		a.barrierReady("p4-done", false)
 	})
+}
+
+// traceScanChunks subdivides a known-duration sweep window into span
+// chunks for the trace without perturbing the simulation: the sweep
+// occupies [start, start+d) of processor time uniformly, so the chunk
+// boundaries are computed, not scheduled.
+func (a *Agent) traceScanChunks(parent trace.SpanID, d sim.Time) {
+	tr := a.cfg.Trace
+	if tr == nil || parent == 0 || d <= 0 {
+		return
+	}
+	start := a.E.Now()
+	if a.busyUntil > start {
+		start = a.busyUntil
+	}
+	const chunks = 8
+	for i := sim.Time(0); i < chunks; i++ {
+		id := tr.Begin(start+d*i/chunks, a.ID, "scan-chunk", parent, int64(i))
+		tr.End(start+d*(i+1)/chunks, id)
+	}
 }
 
 // doFlush iterates the whole second-level cache (cost scales with the
@@ -55,9 +79,12 @@ func (a *Agent) doFlush() {
 	}
 	charge := a.cfg.L2ChargeLines * perLine
 	a.armWatchdogFor(2*sim.Time(charge)*a.cfg.UncachedInstr + a.cfg.WatchdogTimeout)
+	spFlush := a.cfg.Trace.Begin(a.E.Now(), a.ID, "cache-flush", a.spPhase, 0)
 	a.execInstr(charge, func() {
 		a.report.Writebacks = a.Ctrl.FlushCache()
 		a.report.FlushEnd = a.E.Now()
+		a.cfg.Trace.End(a.E.Now(), spFlush)
+		a.spFlushWait = a.cfg.Trace.Begin(a.E.Now(), a.ID, "flush-barrier", a.spPhase, 0)
 		// All-to-all barrier: one message to every other participant
 		// on the normal reply lane, behind our writebacks.
 		for _, q := range a.participants {
@@ -97,11 +124,16 @@ func (a *Agent) checkFlushBarrier() {
 // cannot run the sweep itself: the processor reads the exposed directory
 // state through uncached accesses, several times slower (§6.2).
 func (a *Agent) doScan() {
+	a.cfg.Trace.End(a.E.Now(), a.spFlushWait)
+	a.spFlushWait = 0
+	spScan := a.cfg.Trace.Begin(a.E.Now(), a.ID, "dir-scan", a.spPhase, 0)
 	if a.cfg.HardwiredController {
 		charge := a.cfg.MemChargeLines * timing.InstrHardwiredScanPerLine
 		a.armWatchdogFor(2*sim.Time(charge)*a.cfg.UncachedInstr + a.cfg.WatchdogTimeout)
+		a.traceScanChunks(spScan, sim.Time(charge)*a.cfg.UncachedInstr)
 		a.execInstr(charge, func() {
 			a.report.Incoherent = len(a.Ctrl.ScanDirectory())
+			a.cfg.Trace.End(a.E.Now(), spScan)
 			a.startBarrier("p4-done", func(bool) { a.finishRecovery() })
 			a.barrierReady("p4-done", false)
 		})
@@ -109,8 +141,10 @@ func (a *Agent) doScan() {
 	}
 	scanTime := sim.Time(a.cfg.MemChargeLines) * timing.DirScanPerLine
 	a.armWatchdogFor(2*scanTime + a.cfg.WatchdogTimeout)
+	a.traceScanChunks(spScan, scanTime)
 	a.execTime(scanTime, func() {
 		a.report.Incoherent = len(a.Ctrl.ScanDirectory())
+		a.cfg.Trace.End(a.E.Now(), spScan)
 		a.startBarrier("p4-done", func(bool) { a.finishRecovery() })
 		a.barrierReady("p4-done", false)
 	})

@@ -2,11 +2,13 @@ package interconnect
 
 import (
 	"fmt"
+	"sort"
 
 	"flashfc/internal/metrics"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
 	"flashfc/internal/topology"
+	"flashfc/internal/trace"
 )
 
 // Config tunes the fabric model.
@@ -29,6 +31,10 @@ type Config struct {
 	// truncations, black holes, backpressure stalls). Nil disables
 	// reporting at zero cost: the instruments are nil-safe.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, receives per-packet lifecycle point events
+	// (inject, per-hop route, deliver, every kind of drop) linked by the
+	// packet's flow id. Nil disables tracing at zero cost.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the standard fabric parameters.
@@ -114,6 +120,19 @@ type Network struct {
 	mTruncated   *metrics.Counter
 	mBlackholed  *metrics.Counter
 	mStalls      *metrics.Counter
+
+	// flowSeq numbers packets as they are injected; the sequence doubles
+	// as the trace flow id and as a deterministic order for packets
+	// recovered from unordered sets (see FailLink).
+	flowSeq uint64
+}
+
+// tracePkt records one packet-lifecycle trace point at the given router or
+// node. No-op (and allocation-free) when tracing is disabled.
+func (n *Network) tracePkt(name string, at int, p *Packet) {
+	if tr := n.cfg.Trace; tr != nil {
+		tr.Point(n.E.Now(), at, "pkt", name, p.flow, int64(p.Dst), int64(p.Lane))
+	}
 }
 
 func (n *Network) lost(p *Packet) {
@@ -228,6 +247,7 @@ func (n *Network) SetDiscard(r, p int, on bool) {
 			// be re-checked on arrival). Drop the rest.
 			if dropped > 1 {
 				for _, pk := range ch.q[1:] {
+					n.tracePkt("drop-isolation", r, pk)
 					n.lost(pk)
 				}
 				ch.q = ch.q[:1]
@@ -235,6 +255,7 @@ func (n *Network) SetDiscard(r, p int, on bool) {
 			}
 		} else {
 			for _, pk := range ch.q {
+				n.tracePkt("drop-isolation", r, pk)
 				n.lost(pk)
 			}
 			ch.q = ch.q[:0]
@@ -269,6 +290,7 @@ func (n *Network) FailRouter(r int) {
 		for _, ch := range rs.chans[p] {
 			n.Stats.DroppedRouter += uint64(len(ch.q))
 			for _, pk := range ch.q {
+				n.tracePkt("drop-router", r, pk)
 				n.lost(pk)
 			}
 			ch.q = ch.q[:0]
@@ -289,9 +311,18 @@ func (n *Network) FailLink(l int) {
 		return
 	}
 	n.linkUp[l] = false
+	// The in-transit set is unordered; process its packets in injection
+	// order so retention (reliable mode) and trace points come out in a
+	// deterministic sequence.
+	victims := make([]*Packet, 0, len(n.inTransit[l]))
 	for pkt := range n.inTransit[l] {
+		victims = append(victims, pkt)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].flow < victims[j].flow })
+	for _, pkt := range victims {
 		pkt.Truncated = true
 		n.mTruncated.Inc()
+		n.tracePkt("truncate", n.inTransit[l][pkt], pkt)
 		n.lost(pkt)
 	}
 }
@@ -318,6 +349,11 @@ func (n *Network) Send(p *Packet) {
 	n.mLanePackets[p.Lane].Inc()
 	n.mLaneFlits[p.Lane].Add(uint64(flits(p)))
 	p.Injected = n.E.Now()
+	if p.flow == 0 {
+		n.flowSeq++
+		p.flow = n.flowSeq
+	}
+	n.tracePkt("inject", p.Src, p)
 	if p.SourceRoute != nil {
 		if len(p.SourceRoute) == 0 || p.SourceRoute[0] != p.Src {
 			panic(fmt.Sprintf("interconnect: bad source route %v from %d", p.SourceRoute, p.Src))
@@ -331,6 +367,7 @@ func (n *Network) Send(p *Packet) {
 	rs := n.routers[p.Src]
 	if rs.failed {
 		n.Stats.DroppedRouter++
+		n.tracePkt("drop-router", p.Src, p)
 		n.lost(p)
 		return
 	}
@@ -350,6 +387,7 @@ func (n *Network) nextPort(r int, p *Packet) (port int, ok bool) {
 	if p.SourceRoute != nil {
 		if p.hop+1 >= len(p.SourceRoute) {
 			n.Stats.DroppedNoRoute++
+			n.tracePkt("drop-noroute", r, p)
 			n.lost(p)
 			return 0, false
 		}
@@ -357,6 +395,7 @@ func (n *Network) nextPort(r int, p *Packet) (port int, ok bool) {
 		port = n.Topo.PortTo(r, next)
 		if port < 0 {
 			n.Stats.DroppedNoRoute++
+			n.tracePkt("drop-noroute", r, p)
 			n.lost(p)
 			return 0, false
 		}
@@ -364,12 +403,14 @@ func (n *Network) nextPort(r int, p *Packet) (port int, ok bool) {
 		port = n.routers[r].table[p.Dst]
 		if port < 0 {
 			n.Stats.DroppedNoRoute++
+			n.tracePkt("drop-noroute", r, p)
 			n.lost(p)
 			return 0, false
 		}
 	}
 	if n.routers[r].discard[port] {
 		n.Stats.DroppedIsolation++
+		n.tracePkt("drop-isolation", r, p)
 		n.lost(p)
 		return 0, false
 	}
@@ -388,6 +429,7 @@ func (n *Network) kick(ch *channel) {
 	link := n.Topo.Adjacency(ch.router)[ch.port].Link
 	if !n.linkUp[link] {
 		// Black hole: sink the head packet and try the next.
+		n.tracePkt("drop-blackhole", ch.router, pkt)
 		n.lost(pkt)
 		ch.q = ch.q[1:]
 		n.Stats.DroppedLink++
@@ -418,12 +460,14 @@ func (n *Network) arrive(ch *channel, pkt *Packet, link int) {
 	if !n.linkUp[link] && !pkt.Truncated {
 		// The link died before service completed and the packet was
 		// not marked as the in-flight victim; sink it.
+		n.tracePkt("drop-blackhole", ch.router, pkt)
 		n.lost(pkt)
 		n.popHead(ch)
 		n.Stats.DroppedLink++
 		n.mBlackholed.Inc()
 		return
 	}
+	n.tracePkt("hop", n.Topo.Adjacency(ch.router)[ch.port].To, pkt)
 	n.advance(ch, pkt)
 }
 
@@ -432,6 +476,7 @@ func (n *Network) arrive(ch *channel, pkt *Packet, link int) {
 func (n *Network) advance(ch *channel, pkt *Packet) {
 	r := n.Topo.Adjacency(ch.router)[ch.port].To
 	if n.routers[r].failed {
+		n.tracePkt("drop-router", r, pkt)
 		n.lost(pkt)
 		n.popHead(ch)
 		n.Stats.DroppedRouter++
@@ -439,6 +484,7 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 	}
 	if pkt.SourceRoute != nil {
 		if pkt.hop+1 >= len(pkt.SourceRoute) || pkt.SourceRoute[pkt.hop+1] != r {
+			n.tracePkt("drop-noroute", r, pkt)
 			n.lost(pkt)
 			n.popHead(ch)
 			n.Stats.DroppedNoRoute++
@@ -451,6 +497,7 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 	}
 	if atDst {
 		if n.routers[r].discardLocal {
+			n.tracePkt("drop-deadnode", r, pkt)
 			n.lost(pkt)
 			n.popHead(ch)
 			n.Stats.DroppedDeadNode++
@@ -460,6 +507,7 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 			if pkt.SourceRoute != nil {
 				pkt.hop++
 			}
+			n.tracePkt("deliver", r, pkt)
 			n.popHead(ch)
 			n.Stats.Delivered++
 			if pkt.Truncated {
@@ -506,6 +554,7 @@ func (n *Network) block(ch *channel, pkt *Packet) {
 	if pkt.Lane.IsRecovery() {
 		n.E.After(n.cfg.RecoveryHeadDrop, func() {
 			if ch.blocked && len(ch.q) > 0 && ch.q[0] == pkt {
+				n.tracePkt("drop-headtimeout", ch.router, pkt)
 				n.lost(pkt)
 				n.popHead(ch)
 				n.Stats.DroppedHeadTimeout++
@@ -565,6 +614,7 @@ func (n *Network) deliver(p *Packet) {
 	}
 	if n.routers[p.Dst].discardLocal {
 		n.Stats.DroppedDeadNode++
+		n.tracePkt("drop-deadnode", p.Dst, p)
 		n.lost(p)
 		return
 	}
@@ -576,6 +626,7 @@ func (n *Network) deliver(p *Packet) {
 		n.E.After(backoff, func() { n.deliver(p) })
 		return
 	}
+	n.tracePkt("deliver", p.Dst, p)
 	n.Stats.Delivered++
 }
 

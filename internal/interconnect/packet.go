@@ -67,7 +67,15 @@ type Packet struct {
 	// retried marks an end-to-end retransmission (reliable mode); a
 	// retried packet that is destroyed again counts as a real loss.
 	retried bool
+	// flow is the injection sequence number, assigned by the network when
+	// the packet first enters the fabric. It links the trace points of one
+	// packet's lifetime (inject → hops → deliver/drop) and provides a
+	// deterministic ordering for packets recovered from unordered sets.
+	flow uint64
 }
+
+// Flow returns the packet's injection sequence number (0 before injection).
+func (p *Packet) Flow() uint64 { return p.flow }
 
 func (p *Packet) String() string {
 	sr := ""

@@ -148,6 +148,7 @@ func New(cfg Config) *Machine {
 	icfg := interconnect.DefaultConfig()
 	icfg.Reliable = cfg.ReliableInterconnect
 	icfg.Metrics = reg
+	icfg.Trace = cfg.Trace
 	net := interconnect.New(e, topo, icfg)
 	space := coherence.AddrSpace{Nodes: cfg.Nodes, MemBytes: cfg.MemBytes, VectorTop: cfg.VectorTop}
 	m := &Machine{
@@ -161,9 +162,11 @@ func New(cfg Config) *Machine {
 	}
 	net.OnLost = m.Oracle.PacketLost
 	cfg.Magic.Metrics = reg
+	cfg.Magic.Trace = cfg.Trace
 
 	rcfg := cfg.Recovery
 	rcfg.Metrics = reg
+	rcfg.Trace = cfg.Trace
 	rcfg.ReliableInterconnect = rcfg.ReliableInterconnect || cfg.ReliableInterconnect
 	rcfg.FailureUnits = cfg.FailureUnits
 	rcfg.L2ChargeLines = int(cfg.L2Bytes / 128)
@@ -186,16 +189,10 @@ func New(cfg Config) *Machine {
 			n.Ctrl.SetFailureUnits(cfg.FailureUnits)
 		}
 		n.CPU = proc.New(e, n.Ctrl, cfg.CPUWindow)
+		// Phase transitions are recorded by the agents themselves (both
+		// the flat timeline and the phase spans), so no OnPhase wrapper
+		// is needed here.
 		nodeCfg := rcfg
-		if cfg.Trace != nil {
-			userOnPhase := rcfg.OnPhase
-			nodeCfg.OnPhase = func(id int, p core.Phase) {
-				cfg.Trace.Record(e.Now(), id, trace.KindPhase, "%v", p)
-				if userOnPhase != nil {
-					userOnPhase(id, p)
-				}
-			}
-		}
 		nodeCfg.OnEnter = func(id int) {
 			m.Nodes[id].CPU.Pause()
 			if userOnEnter != nil {
@@ -377,6 +374,7 @@ func (m *Machine) agentDone(r *core.Report) {
 		}
 	}
 	m.recovered = true
+	m.Cfg.Trace.EndRoot(m.E.Now())
 	m.observeRecovery()
 	if m.OnAllRecovered != nil {
 		m.OnAllRecovered(m.reports)

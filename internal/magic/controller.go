@@ -16,6 +16,7 @@ import (
 	"flashfc/internal/metrics"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
+	"flashfc/internal/trace"
 )
 
 // Mode is the controller's operating mode.
@@ -127,6 +128,10 @@ type Config struct {
 	// one machine share the registry; instrument names are global, not
 	// per-node.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, receives point events for containment actions
+	// (firewall/range/uncached denials, NAK traffic, memory-op timeouts)
+	// and recovery triggers. Nil disables tracing at zero cost.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the paper-calibrated controller parameters.
@@ -351,6 +356,7 @@ func (c *Controller) LastNormalDelivery() sim.Time { return c.lastNormalDelivery
 func (c *Controller) FailAssertion() { c.trigger(ReasonAssertion) }
 
 func (c *Controller) trigger(r TriggerReason) {
+	c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "trigger", 0, int64(r), 0)
 	if c.onTrigger != nil {
 		c.onTrigger(r)
 	}
@@ -383,6 +389,7 @@ func (c *Controller) Accept(p *interconnect.Packet) bool {
 		// the next dispatch is the error handler, which triggers
 		// recovery. The data is unusable and dropped.
 		c.Stats.TruncatedSeen++
+		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "truncated-seen", p.Flow(), int64(p.Src), int64(p.Lane))
 		c.trigger(ReasonTruncated)
 		return true
 	}

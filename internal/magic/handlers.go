@@ -62,6 +62,7 @@ func (c *Controller) reply(req int, ty coherence.MsgType, addr coherence.Addr, s
 	if ty == coherence.MsgNak {
 		c.Stats.NAKsSent++
 		c.mNAKsSent.Inc()
+		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "nak-sent", 0, int64(addr), int64(req))
 	}
 	if ty == coherence.MsgBusErr {
 		c.Stats.BusErrors++
@@ -110,6 +111,7 @@ func (c *Controller) handleGetX(msg *coherence.Message) {
 	if !c.firewallAllows(msg.Addr, msg.Req) {
 		c.Stats.FirewallDenied++
 		c.mFirewallDenied.Inc()
+		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "firewall-denied", 0, int64(msg.Addr), int64(msg.Req))
 		c.reply(msg.Req, coherence.MsgBusErr, msg.Addr, msg.Seq, 0)
 		return
 	}
@@ -322,6 +324,7 @@ func (c *Controller) handleReply(msg *coherence.Message) {
 	case coherence.MsgNak:
 		c.Stats.NAKsReceived++
 		c.mNAKsReceived.Inc()
+		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "nak-received", 0, int64(msg.Addr), int64(m.naks+1))
 		m.naks++
 		if m.naks >= c.cfg.NAKLimit {
 			// NAK counter overflow: likely deadlock after a failure
@@ -345,6 +348,7 @@ func (c *Controller) handleReply(msg *coherence.Message) {
 func (c *Controller) handleUncached(msg *coherence.Message) {
 	if msg.IO && c.unit != nil && c.unit[msg.Req] != c.unit[c.ID] {
 		c.Stats.UncachedDenied++
+		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "uncached-denied", 0, int64(msg.Req), 0)
 		c.sendMsg(msg.Req, &coherence.Message{Type: coherence.MsgUncachedErr, Req: msg.Req, Seq: msg.Seq})
 		return
 	}

@@ -35,6 +35,7 @@ func (c *Controller) access(addr coherence.Addr, excl, hasStore bool, storeTok u
 	if excl && c.rangeDenied(addr) {
 		c.Stats.RangeDenied++
 		c.mRangeDenied.Inc()
+		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "range-denied", 0, int64(addr), 0)
 		c.completeErr(cb, ErrBusError)
 		return
 	}
@@ -111,6 +112,7 @@ func (c *Controller) armTimeout(m *mshr) {
 		}
 		c.Stats.Timeouts++
 		c.mTimeouts.Inc()
+		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "memop-timeout", 0, int64(m.addr), 0)
 		c.trigger(ReasonTimeout)
 	})
 }

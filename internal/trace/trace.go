@@ -60,6 +60,14 @@ type Tracer struct {
 	events  []Event
 	head    int // index of the oldest retained event once the ring is full
 	dropped int
+	sorted  []Event // chronological cache of retained(); nil when stale
+
+	// Span/point stream (span.go). Not subject to Limit.
+	spans     []Span
+	points    []Point
+	openSpans map[SpanID]struct{}
+	rootSpan  SpanID   // currently open root span, 0 if none
+	last      sim.Time // largest timestamp observed on any record path
 }
 
 // New returns a tracer retaining at most limit events (0 = unlimited).
@@ -71,9 +79,21 @@ func (t *Tracer) Record(ts sim.Time, node int, kind Kind, format string, args ..
 	if t == nil {
 		return
 	}
-	e := Event{T: ts, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	t.RecordEvent(ts, node, kind, fmt.Sprintf(format, args...))
+}
+
+// RecordEvent is Record for a pre-rendered detail string. With static
+// details it is allocation-free on a nil tracer (no varargs boxing), making
+// it the flat-timeline counterpart of the span hot-path methods.
+func (t *Tracer) RecordEvent(ts sim.Time, node int, kind Kind, detail string) {
+	if t == nil {
+		return
+	}
+	e := Event{T: ts, Node: node, Kind: kind, Detail: detail}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.sorted = nil
+	t.observe(ts)
 	if t.Limit > 0 && len(t.events) >= t.Limit {
 		t.events[t.head] = e
 		t.head = (t.head + 1) % t.Limit
@@ -92,19 +112,33 @@ func (t *Tracer) retained() []Event {
 	return out
 }
 
+// chronological returns the retained events sorted by timestamp (stably, so
+// same-timestamp events keep insertion order). The sort result is cached and
+// only rebuilt after a Record invalidates it, so repeated Events/ByKind/Dump
+// calls sort at most once. Callers must hold t.mu and must not mutate the
+// returned slice.
+func (t *Tracer) chronological() []Event {
+	if t.sorted == nil {
+		t.sorted = t.retained()
+		sort.SliceStable(t.sorted, func(i, j int) bool { return t.sorted[i].T < t.sorted[j].T })
+	}
+	return t.sorted
+}
+
 // Events returns the recorded timeline in chronological order.
 func (t *Tracer) Events() []Event {
 	t.mu.Lock()
-	out := t.retained()
-	t.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
-	return out
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.chronological()...)
 }
 
-// ByKind returns the events of one kind, chronologically.
+// ByKind returns the events of one kind, chronologically. It filters the
+// cached sort rather than re-sorting the full timeline per call.
 func (t *Tracer) ByKind(k Kind) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var out []Event
-	for _, e := range t.Events() {
+	for _, e := range t.chronological() {
 		if e.Kind == k {
 			out = append(out, e)
 		}
@@ -130,10 +164,9 @@ func (t *Tracer) Dropped() int {
 // and the truncation point up front, where the missing events would be.
 func (t *Tracer) Dump(w io.Writer) {
 	t.mu.Lock()
-	events := t.retained()
+	events := append([]Event(nil), t.chronological()...)
 	dropped, limit := t.dropped, t.Limit
 	t.mu.Unlock()
-	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
 	if dropped > 0 {
 		from := "start"
 		if len(events) > 0 {
