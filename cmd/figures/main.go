@@ -7,10 +7,11 @@
 //	figures -fig ablations      §4.2 / §4.3 / §6.2 / §6.3 optimization measurements
 //	figures -fig dist           recovery-time distributions across random faults
 //
-// The points of each sweep are independent simulations; -parallel N
-// measures them on N workers (default: one per CPU) with bit-identical
-// results. -metrics appends the sweep's aggregate metric registry (every
-// point's machine-wide snapshot, merged) for figs 5.5, 5.6 and dist.
+// Each sweep is one campaign through the Campaign API: its points are
+// independent simulations, measured on -workers goroutines (default: one
+// per CPU) with bit-identical results. -metrics appends the sweep's
+// aggregate metric registry (every point's machine-wide snapshot, merged)
+// for figs 5.5, 5.6 and dist. -runs sets the seeds of the dist sweep.
 package main
 
 import (
@@ -20,58 +21,61 @@ import (
 	"time"
 
 	"flashfc"
+	"flashfc/internal/cliflags"
 )
 
 func main() {
-	fig := flag.String("fig", "5.5", "figure to regenerate: 5.5, 5.6, 5.7, ablations")
-	seed := flag.Int64("seed", 1, "random seed")
+	fig := flag.String("fig", "5.5", "figure to regenerate: 5.5, 5.6, 5.7, ablations, dist")
 	full := flag.Bool("full", false, "paper-scale parameters (16 MB/node for 5.7)")
-	parallel := flag.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU)")
-	showMetrics := flag.Bool("metrics", false, "print the sweep's aggregate metric registry (5.5, 5.6, dist)")
+	cf := cliflags.Register(flag.CommandLine, cliflags.Defaults{Runs: 12})
 	flag.Parse()
+	cf.WarnTraceIgnored()
 
 	switch *fig {
 	case "5.5":
-		fig55(*seed, *parallel, *showMetrics)
+		fig55(cf)
 	case "5.6":
-		fig56(*seed, *parallel, *showMetrics)
+		fig56(cf)
 	case "5.7":
-		fig57(*seed, *full, *parallel)
+		fig57(cf, *full)
 	case "ablations":
-		ablations(*seed)
+		ablations(cf.Seed)
 	case "dist":
-		dist(*parallel, *showMetrics)
+		dist(cf)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
 }
 
-func fig55(seed int64, parallel int, showMetrics bool) {
+func fig55(cf *cliflags.Flags) {
 	start := time.Now()
 	fmt.Println("Fig 5.5 — total hardware recovery times (1 MB memory/node, 1 MB L2)")
 	fmt.Println("\nmesh topology:")
 	fmt.Printf("%6s %12s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "P1,2,3", "total", "rounds")
 	nodes := []int{2, 8, 16, 32, 64, 128}
+	ccfg := cf.Config()
 	var events uint64
 	var snaps []*flashfc.MetricsSnapshot
-	for _, p := range flashfc.RunFig55(nodes, flashfc.TopoMesh, seed, parallel) {
+	mesh := flashfc.RunCampaign(ccfg, flashfc.Fig55Campaign{Nodes: nodes, Topo: flashfc.TopoMesh})
+	for _, p := range mesh.Values() {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %12v %8d\n",
 			p.Nodes, ph.P1, ph.P12, ph.P123, ph.Total, ph.MaxRounds)
 		events += p.Events
-		snaps = append(snaps, p.Metrics)
 	}
+	snaps = append(snaps, mesh.Metrics)
 	fmt.Println("\nhypercube topology (the dissemination phase grows with the diameter):")
 	fmt.Printf("%6s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "total", "rounds")
-	for _, p := range flashfc.RunFig55(nodes, flashfc.TopoHypercube, seed, parallel) {
+	cube := flashfc.RunCampaign(ccfg, flashfc.Fig55Campaign{Nodes: nodes, Topo: flashfc.TopoHypercube})
+	for _, p := range cube.Values() {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %8d\n", p.Nodes, ph.P1, ph.P12, ph.Total, ph.MaxRounds)
 		events += p.Events
-		snaps = append(snaps, p.Metrics)
 	}
+	snaps = append(snaps, cube.Metrics)
 	throughput(events, start)
-	emitSweepMetrics(snaps, showMetrics)
+	emitSweepMetrics(snaps, cf.Metrics)
 }
 
 // emitSweepMetrics prints the merged metric registry of a whole sweep.
@@ -83,32 +87,39 @@ func emitSweepMetrics(snaps []*flashfc.MetricsSnapshot, show bool) {
 	flashfc.MergeMetrics(snaps).WriteTable(os.Stdout)
 }
 
-func fig56(seed int64, parallel int, showMetrics bool) {
+func fig56(cf *cliflags.Flags) {
 	start := time.Now()
 	fmt.Println("Fig 5.6 — cache coherence protocol recovery times (4 nodes)")
 	fmt.Println("\nleft: vs second-level cache size (4 MB/node memory):")
 	fmt.Printf("%10s %12s %12s\n", "L2 [MB]", "WB (flush)", "P4 total")
+	ccfg := cf.Config()
 	var events uint64
 	var snaps []*flashfc.MetricsSnapshot
-	for _, p := range flashfc.RunFig56L2([]uint64{512 << 10, 1 << 20, 2 << 20, 4 << 20}, seed, parallel) {
+	l2 := flashfc.RunCampaign(ccfg, flashfc.Fig56L2Campaign{
+		L2Sizes: []uint64{512 << 10, 1 << 20, 2 << 20, 4 << 20},
+	})
+	for _, p := range l2.Values() {
 		ph := p.Phases
 		fmt.Printf("%10.1f %12v %12v\n", p.X, ph.WB, ph.P4Time())
 		events += p.Events
-		snaps = append(snaps, p.Metrics)
 	}
+	snaps = append(snaps, l2.Metrics)
 	fmt.Println("\nright: vs node memory size (1 MB L2):")
 	fmt.Printf("%10s %12s %12s\n", "mem [MB]", "scan", "P4 total")
-	for _, p := range flashfc.RunFig56Mem([]uint64{1 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}, seed, parallel) {
+	mem := flashfc.RunCampaign(ccfg, flashfc.Fig56MemCampaign{
+		MemSizes: []uint64{1 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20},
+	})
+	for _, p := range mem.Values() {
 		ph := p.Phases
 		fmt.Printf("%10.0f %12v %12v\n", p.X, ph.Scan, ph.P4Time())
 		events += p.Events
-		snaps = append(snaps, p.Metrics)
 	}
+	snaps = append(snaps, mem.Metrics)
 	throughput(events, start)
-	emitSweepMetrics(snaps, showMetrics)
+	emitSweepMetrics(snaps, cf.Metrics)
 }
 
-func fig57(seed int64, full bool, parallel int) {
+func fig57(cf *cliflags.Flags, full bool) {
 	mem := uint64(2 << 20)
 	l2 := uint64(256 << 10)
 	if full {
@@ -118,7 +129,10 @@ func fig57(seed int64, full bool, parallel int) {
 	fmt.Printf("Fig 5.7 — end-to-end recovery times (1 Hive cell/node, %d MB/node, %d KB L2)\n\n",
 		mem>>20, l2>>10)
 	fmt.Printf("%6s %14s %14s\n", "nodes", "HW", "HW+OS")
-	for _, p := range flashfc.RunFig57([]int{2, 4, 8, 16}, mem, l2, seed, parallel) {
+	out := flashfc.RunCampaign(cf.Config(), flashfc.Fig57Campaign{
+		Nodes: []int{2, 4, 8, 16}, MemBytes: mem, L2Bytes: l2,
+	})
+	for _, p := range out.Values() {
 		status := ""
 		if !p.OK {
 			status = "  (run failed)"
@@ -128,23 +142,24 @@ func fig57(seed int64, full bool, parallel int) {
 	fmt.Println("\npaper: OS recovery scales with cells rather than nodes (§5.3)")
 }
 
-func dist(parallel int, showMetrics bool) {
-	fmt.Println("Recovery-time distributions (node failures at random workload points, 12 seeds)")
+func dist(cf *cliflags.Flags) {
+	fmt.Printf("Recovery-time distributions (node failures at random workload points, %d seeds)\n", cf.Runs)
 	fmt.Println()
 	fmt.Printf("%6s %28s %28s\n", "nodes", "P2 ms (min/med/max)", "total ms (min/med/max)")
 	var stats flashfc.CampaignStats
 	var snaps []*flashfc.MetricsSnapshot
 	for _, n := range []int{8, 32, 64} {
-		cfg := flashfc.DefaultScalingConfig(n)
-		cfg.Workers = parallel
-		d := flashfc.RunRecoveryDistribution(cfg, 12)
+		out := flashfc.RunCampaign(cf.Config(), flashfc.DistributionCampaign{
+			Config: flashfc.DefaultScalingConfig(n),
+		})
+		d := flashfc.SummarizeRecovery(n, out)
 		fmt.Printf("%6d %12.2f /%6.2f /%6.2f %12.2f /%6.2f /%6.2f\n",
 			n, d.P2.Min, d.P2.Median, d.P2.Max, d.Total.Min, d.Total.Median, d.Total.Max)
 		stats.Merge(d.Stats)
 		snaps = append(snaps, d.Metrics)
 	}
 	fmt.Printf("\nthroughput: %v\n", stats)
-	emitSweepMetrics(snaps, showMetrics)
+	emitSweepMetrics(snaps, cf.Metrics)
 }
 
 // throughput prints the sweep's aggregate simulated-event rate.

@@ -41,6 +41,7 @@ import (
 	"os"
 
 	"flashfc"
+	"flashfc/internal/cliflags"
 )
 
 // hout is where the human-readable report goes: stdout normally, stderr
@@ -54,22 +55,12 @@ func main() {
 		"fault: node, router, link, loop, false-alarm, powerloss, cablecut")
 	mem := flag.Uint64("mem", 256<<10, "memory bytes per node")
 	l2 := flag.Uint64("l2", 64<<10, "L2 cache bytes")
-	seed := flag.Int64("seed", 1, "random seed")
 	fill := flag.Int("fill", 192, "cache-fill lines per node")
 	stride := flag.Int("stride", 1, "verification stride (1 = every line)")
-	doTrace := flag.Bool("trace", false, "print the recovery event timeline (single runs)")
-	traceJSON := flag.String("trace-json", "",
-		"write the span/point trace as Chrome trace-event JSON to this file, viewable at ui.perfetto.dev (single runs)")
-	traceCritical := flag.Bool("trace-critical", false,
-		"print the recovery critical-path report: the longest-latency span chain with per-phase self-times (single runs)")
-	runs := flag.Int("runs", 1, "number of independent experiments (campaign mode when > 1)")
-	parallel := flag.Int("parallel", 0, "campaign worker goroutines (0 = one per CPU)")
-	showMetrics := flag.Bool("metrics", false, "print the metric registry after the run")
-	metricsJSON := flag.Bool("metrics-json", false,
-		"write the metric snapshot as JSON on stdout (human report moves to stderr)")
+	cf := cliflags.Register(flag.CommandLine, cliflags.Defaults{Runs: 1})
 	flag.Parse()
 
-	if *metricsJSON {
+	if cf.MetricsJSON {
 		hout = os.Stderr
 	}
 
@@ -80,25 +71,24 @@ func main() {
 	cfg.FillLines = *fill
 	cfg.Stride = *stride
 	var tracer *flashfc.Tracer
-	if *doTrace || *traceJSON != "" || *traceCritical {
-		if *runs > 1 {
-			// The batch drivers clear any configured tracer (interleaved
-			// multi-run timelines are useless), so say so instead of
-			// silently dropping the flags.
-			fmt.Fprintln(os.Stderr, "warning: -trace/-trace-json/-trace-critical are ignored in campaign mode (-runs > 1); run a single experiment to capture a timeline")
+	if cf.WantTrace() {
+		if cf.Runs > 1 {
+			// Multi-run campaigns interleave timelines into nonsense,
+			// so say so instead of silently dropping the flags.
+			cf.WarnTraceIgnored()
 		} else {
 			tracer = flashfc.NewTracer(0)
 			cfg.Trace = tracer
 		}
 	}
-	topts := traceOpts{tracer: tracer, dump: *doTrace, jsonPath: *traceJSON, critical: *traceCritical}
+	topts := traceOpts{tracer: tracer, dump: cf.Trace, jsonPath: cf.TraceJSON, critical: cf.TraceCritical}
 
 	if *topo == "hypercube" {
 		fmt.Fprintln(os.Stderr, "note: -topo hypercube applies to scaling runs; validation uses a mesh")
 	}
 	switch *faultName {
 	case "powerloss", "cablecut":
-		runCompound(cfg, *faultName, *seed, topts, *showMetrics, *metricsJSON)
+		runCompound(cfg, *faultName, cf.Seed, topts, cf.Metrics, cf.MetricsJSON)
 		return
 	}
 	var ft flashfc.FaultType
@@ -118,14 +108,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *runs > 1 {
-		cfg.Workers = *parallel
-		runCampaign(cfg, ft, *faultName, *runs, *seed, *showMetrics, *metricsJSON)
+	if cf.Runs > 1 {
+		runCampaign(cfg, ft, *faultName, cf)
 		return
 	}
 
-	r := flashfc.RunValidation(cfg, ft, *seed)
-	if tracer != nil && *doTrace {
+	r := flashfc.RunValidation(cfg, ft, cf.Seed)
+	if tracer != nil && cf.Trace {
 		fmt.Fprintln(hout, "timeline:")
 		tracer.Dump(hout)
 		fmt.Fprintln(hout)
@@ -139,7 +128,7 @@ func main() {
 		fmt.Fprintf(hout, "verify:     %v\n", r.Verify)
 	}
 	emitTrace(topts)
-	emitMetrics(r.Metrics, *showMetrics, *metricsJSON)
+	emitMetrics(r.Metrics, cf.Metrics, cf.MetricsJSON)
 	if r.OK() {
 		fmt.Fprintln(hout, "result:     PASS — fault contained, no data anomalies")
 		return
@@ -202,14 +191,14 @@ func emitMetrics(snap *flashfc.MetricsSnapshot, table, asJSON bool) {
 	}
 }
 
-// runCampaign fans `runs` independent validation experiments out over the
-// configured worker pool and reports the campaign verdict.
-func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string, runs int, seed int64, showMetrics, metricsJSON bool) {
-	fmt.Fprintf(hout, "campaign: %d %s-fault runs, base seed %d\n", runs, name, seed)
-	results, stats := flashfc.RunValidationBatch(cfg, ft, runs, seed)
+// runCampaign fans the validation experiments out over the configured
+// worker pool via the Campaign API and reports the campaign verdict.
+func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string, cf *cliflags.Flags) {
+	fmt.Fprintf(hout, "campaign: %d %s-fault runs, base seed %d\n", cf.Runs, name, cf.Seed)
+	out := flashfc.RunCampaign(cf.Config(), flashfc.ValidationCampaign{Config: cfg, Fault: ft})
 	failed := 0
-	snaps := make([]*flashfc.MetricsSnapshot, 0, len(results))
-	for i, r := range results {
+	var snaps []*flashfc.MetricsSnapshot
+	for i, r := range out.Runs {
 		switch {
 		case r.Err != nil:
 			failed++
@@ -222,24 +211,24 @@ func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string
 			snaps = append(snaps, r.Value.Metrics)
 		}
 	}
-	if showMetrics {
+	if cf.Metrics {
 		fmt.Fprintln(hout, "metrics (campaign aggregate):")
-		flashfc.MergeMetrics(snaps).WriteTable(hout)
+		out.Metrics.WriteTable(hout)
 		fmt.Fprintln(hout, "metrics (per-run distributions):")
 		flashfc.WriteMetricsSummary(hout, flashfc.SummarizeMetrics(snaps))
 	}
-	if metricsJSON {
-		if err := flashfc.MergeMetrics(snaps).WriteJSON(os.Stdout); err != nil {
+	if cf.MetricsJSON {
+		if err := out.Metrics.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(hout, "throughput: %v\n", stats)
+	fmt.Fprintf(hout, "throughput: %v\n", out.Stats)
 	if failed > 0 {
-		fmt.Fprintf(hout, "result:     FAIL — %d/%d runs failed\n", failed, runs)
+		fmt.Fprintf(hout, "result:     FAIL — %d/%d runs failed\n", failed, cf.Runs)
 		os.Exit(1)
 	}
-	fmt.Fprintf(hout, "result:     PASS — all %d faults contained, no data anomalies\n", runs)
+	fmt.Fprintf(hout, "result:     PASS — all %d faults contained, no data anomalies\n", cf.Runs)
 }
 
 // runCompound injects a §4.1 compound fault (power-supply loss of two

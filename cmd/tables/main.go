@@ -1,7 +1,7 @@
 // Command tables regenerates the paper's experiment tables.
 //
-//	tables -table 5.3 [-runs 200] [-seed 1] [-parallel N]
-//	tables -table 5.4 [-runs 1187] [-legacy-bug] [-seed 1] [-parallel N]
+//	tables -table 5.3 [-runs 200] [-seed 1] [-workers N]
+//	tables -table 5.4 [-runs 1187] [-legacy-bug] [-seed 1] [-workers N]
 //
 // Table 5.3 (validation): stand-alone cache-fill runs per fault type; the
 // paper reports 200 runs per type with zero failures.
@@ -10,11 +10,12 @@
 // reports 1187 runs with 99 failures (8.4%), all caused by OS bugs in the
 // handling of incoherent lines — reenable them with -legacy-bug.
 //
-// Runs within a batch are independent simulations; -parallel N fans them
-// out over N workers (default: one per CPU) with bit-identical results,
-// and each table ends with the campaign's simulated-event throughput.
-// -metrics appends the campaign's aggregate metric registry (every run's
-// machine-wide snapshot, merged).
+// Each table is a sequence of campaigns, one per fault type, run through
+// the Campaign API: runs within a campaign are independent simulations,
+// fanned out over -workers goroutines (default: one per CPU) with
+// bit-identical results, and each table ends with the aggregate
+// simulated-event throughput. -metrics appends the campaign's aggregate
+// metric registry (every run's machine-wide snapshot, merged).
 package main
 
 import (
@@ -23,49 +24,44 @@ import (
 	"os"
 
 	"flashfc"
+	"flashfc/internal/cliflags"
 )
 
 func main() {
 	table := flag.String("table", "5.3", "table to regenerate: 5.3 or 5.4")
-	runs := flag.Int("runs", 0, "runs per fault type (default: 20 for 5.3, 10 for 5.4)")
-	seed := flag.Int64("seed", 1, "base random seed")
 	legacy := flag.Bool("legacy-bug", false, "reenable the paper's incoherent-line OS bugs (5.4)")
 	full := flag.Bool("full", false, "paper-scale run counts (200/type for 5.3; ~300/type for 5.4)")
-	parallel := flag.Int("parallel", 0, "worker goroutines per batch (0 = one per CPU)")
-	showMetrics := flag.Bool("metrics", false, "print the campaign's aggregate metric registry")
+	cf := cliflags.Register(flag.CommandLine, cliflags.Defaults{Runs: 0})
 	flag.Parse()
+	cf.WarnTraceIgnored()
 
 	switch *table {
 	case "5.3":
-		n := *runs
-		if n == 0 {
-			n = 20
+		if cf.Runs == 0 {
+			cf.Runs = 20
 			if *full {
-				n = 200
+				cf.Runs = 200
 			}
 		}
-		table53(n, *seed, *parallel, *showMetrics)
+		table53(cf)
 	case "5.4":
-		n := *runs
-		if n == 0 {
-			n = 10
+		if cf.Runs == 0 {
+			cf.Runs = 10
 			if *full {
-				n = 300
+				cf.Runs = 300
 			}
 		}
-		table54(n, *seed, *legacy, *parallel, *showMetrics)
+		table54(cf, *legacy)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
 }
 
-func table53(runs int, seed int64, parallel int, showMetrics bool) {
-	fmt.Printf("Table 5.3 — validation experiments (%d runs per fault type)\n\n", runs)
+func table53(cf *cliflags.Flags) {
+	fmt.Printf("Table 5.3 — validation experiments (%d runs per fault type)\n\n", cf.Runs)
 	fmt.Printf("%-38s %12s %12s\n", "Injected fault type", "# of exp.", "# failed")
-	cfg := flashfc.DefaultValidationConfig()
-	cfg.Workers = parallel
-	rows, stats := flashfc.RunTable53(cfg, runs, seed)
+	vcfg := flashfc.DefaultValidationConfig()
 	names := map[flashfc.FaultType]string{
 		flashfc.NodeFailure:   "Node failure",
 		flashfc.RouterFailure: "Router failure",
@@ -74,22 +70,31 @@ func table53(runs int, seed int64, parallel int, showMetrics bool) {
 		flashfc.FalseAlarm:    "Recovery triggered by false alarm",
 	}
 	bad := 0
-	snaps := make([]*flashfc.MetricsSnapshot, 0, len(rows))
-	for _, r := range rows {
-		fmt.Printf("%-38s %12d %12d\n", names[r.Fault], r.Runs, r.Failed)
-		bad += r.Failed
-		snaps = append(snaps, r.Metrics)
+	var total flashfc.CampaignStats
+	var snaps []*flashfc.MetricsSnapshot
+	for _, ft := range flashfc.AllFaultTypes() {
+		out := flashfc.RunCampaign(cf.Config(), flashfc.ValidationCampaign{Config: vcfg, Fault: ft})
+		failed := 0
+		for _, r := range out.Runs {
+			if r.Err != nil || !r.Value.OK() {
+				failed++
+			}
+		}
+		fmt.Printf("%-38s %12d %12d\n", names[ft], len(out.Runs), failed)
+		bad += failed
+		total.Merge(out.Stats)
+		snaps = append(snaps, out.Metrics)
 	}
 	fmt.Printf("\npaper: 200 runs per type, 0 failures; this run: %d total failures\n", bad)
-	fmt.Printf("throughput: %v\n", stats)
-	emitCampaignMetrics(snaps, showMetrics)
+	fmt.Printf("throughput: %v\n", total)
+	emitCampaignMetrics(snaps, cf.Metrics)
 	if bad > 0 {
 		os.Exit(1)
 	}
 }
 
-// emitCampaignMetrics prints the merged metric registry of a whole campaign
-// (the per-fault-type batch aggregates, merged again across types).
+// emitCampaignMetrics prints the merged metric registry of a whole table
+// (the per-fault-type campaign aggregates, merged again across types).
 func emitCampaignMetrics(snaps []*flashfc.MetricsSnapshot, show bool) {
 	if !show {
 		return
@@ -98,21 +103,17 @@ func emitCampaignMetrics(snaps []*flashfc.MetricsSnapshot, show bool) {
 	flashfc.MergeMetrics(snaps).WriteTable(os.Stdout)
 }
 
-func table54(runs int, seed int64, legacy bool, parallel int, showMetrics bool) {
+func table54(cf *cliflags.Flags, legacy bool) {
 	mode := "fixed OS"
 	if legacy {
 		mode = "legacy OS bugs reenabled"
 	}
-	fmt.Printf("Table 5.4 — end-to-end recovery experiments (%d runs per fault type, %s)\n\n", runs, mode)
+	fmt.Printf("Table 5.4 — end-to-end recovery experiments (%d runs per fault type, %s)\n\n", cf.Runs, mode)
 	fmt.Printf("%-38s %12s %12s\n", "Injected fault type", "# of exp.", "# failed")
-	cfg := flashfc.DefaultEndToEndConfig()
-	cfg.LegacyIncoherentBug = legacy
-	cfg.Workers = parallel
-	runsPer := map[flashfc.FaultType]int{
-		flashfc.NodeFailure:   runs,
-		flashfc.RouterFailure: runs,
-		flashfc.LinkFailure:   runs,
-		flashfc.InfiniteLoop:  runs,
+	ecfg := flashfc.DefaultEndToEndConfig()
+	ecfg.LegacyIncoherentBug = legacy
+	types := []flashfc.FaultType{
+		flashfc.NodeFailure, flashfc.RouterFailure, flashfc.LinkFailure, flashfc.InfiniteLoop,
 	}
 	names := map[flashfc.FaultType]string{
 		flashfc.NodeFailure:   "Node failure",
@@ -120,14 +121,22 @@ func table54(runs int, seed int64, legacy bool, parallel int, showMetrics bool) 
 		flashfc.LinkFailure:   "Link failure",
 		flashfc.InfiniteLoop:  "Infinite loop in MAGIC handler",
 	}
-	rows, stats := flashfc.RunTable54(cfg, runsPer, seed)
 	total, failed := 0, 0
-	snaps := make([]*flashfc.MetricsSnapshot, 0, len(rows))
-	for _, r := range rows {
-		fmt.Printf("%-38s %12d %12d\n", names[r.Fault], r.Runs, r.Failed)
-		total += r.Runs
-		failed += r.Failed
-		snaps = append(snaps, r.Metrics)
+	var stats flashfc.CampaignStats
+	var snaps []*flashfc.MetricsSnapshot
+	for _, ft := range types {
+		out := flashfc.RunCampaign(cf.Config(), flashfc.EndToEndCampaign{Config: ecfg, Fault: ft})
+		bad := 0
+		for _, r := range out.Runs {
+			if r.Err != nil || !r.Value.OK() {
+				bad++
+			}
+		}
+		fmt.Printf("%-38s %12d %12d\n", names[ft], len(out.Runs), bad)
+		total += len(out.Runs)
+		failed += bad
+		stats.Merge(out.Stats)
+		snaps = append(snaps, out.Metrics)
 	}
 	pct := 0.0
 	if total > 0 {
@@ -137,5 +146,5 @@ func table54(runs int, seed int64, legacy bool, parallel int, showMetrics bool) 
 	fmt.Printf("\n%.1f%% of runs correctly finished the compiles not affected by the fault\n", pct)
 	fmt.Println("paper: 1187 runs, 99 failed (91.6% success), all failures caused by OS bugs")
 	fmt.Printf("throughput: %v\n", stats)
-	emitCampaignMetrics(snaps, showMetrics)
+	emitCampaignMetrics(snaps, cf.Metrics)
 }

@@ -1,6 +1,11 @@
 // Falsealarm demonstrates the §4.1 guarantee: recovery triggered without an
 // actual fault (a pathological overload) costs only a brief interruption —
 // no data is lost and nothing is marked incoherent.
+//
+// The check runs as a campaign: eight validation experiments with derived
+// seeds, each filling the caches with dirty lines before the false alarm
+// fires, so the guarantee is exercised against eight different dirty-line
+// populations rather than one hand-picked layout.
 package main
 
 import (
@@ -11,40 +16,31 @@ import (
 )
 
 func main() {
-	cfg := flashfc.DefaultMachineConfig(8)
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.Nodes = 8
 	cfg.MemBytes = 128 << 10
 	cfg.L2Bytes = 32 << 10
-	m := flashfc.NewMachine(cfg)
 
-	// Dirty a bunch of lines all over the machine first.
-	written := 0
-	for i := 0; i < 64; i++ {
-		node := i % 8
-		addr := m.Space.Base((i+3)%8) + flashfc.Addr(0x400+i*128)
-		tok := m.Oracle.NextToken()
-		a := addr
-		m.Nodes[node].Ctrl.Write(addr, tok, func(r flashfc.Result) {
-			if r.Err == nil {
-				m.Oracle.Wrote(a, tok)
-				written++
-			}
-		})
-	}
-	m.E.Run()
-	fmt.Printf("%d lines dirtied across the machine\n", written)
+	out := flashfc.RunCampaign(
+		flashfc.CampaignConfig{Seed: 1, Runs: 8},
+		flashfc.ValidationCampaign{Config: cfg, Fault: flashfc.FalseAlarm},
+	)
 
-	// An overload condition triggers recovery on node 4 — no fault.
-	m.Inject(flashfc.Fault{Type: flashfc.FalseAlarm, Node: 4})
-	if !m.RunUntilRecovered(5 * flashfc.Second) {
-		log.Fatal("recovery did not complete")
+	var worst flashfc.Time
+	checked := 0
+	for i, r := range out.Values() {
+		if !r.OK() || r.Verify.Incoherent != 0 {
+			log.Fatalf("run %d: false alarm must not lose data: %v", i, r.Verify)
+		}
+		if r.Phases.Total > worst {
+			worst = r.Phases.Total
+		}
+		checked += r.Verify.LinesChecked
+		fmt.Printf("seed run %d: suspension %v (flush %v + directory sweep %v)\n",
+			i, r.Phases.Total, r.Phases.WB, r.Phases.Scan)
 	}
-	pt := m.Aggregate()
-	fmt.Printf("false alarm cost: %v of suspension (flush %v + directory sweep %v)\n",
-		pt.Total, pt.WB, pt.Scan)
-
-	res := m.VerifyMemory(0, 1)
-	if !res.OK() || res.Incoherent != 0 {
-		log.Fatalf("false alarm must not lose data: %v", res)
-	}
-	fmt.Printf("sweep of %d lines: all data intact, zero incoherent lines.\n", res.LinesChecked)
+	fmt.Printf("\nworst-case false-alarm cost: %v of suspension\n", worst)
+	fmt.Printf("swept %d lines across %d runs: all data intact, zero incoherent lines.\n",
+		checked, len(out.Runs))
+	fmt.Printf("throughput: %v\n", out.Stats)
 }

@@ -44,4 +44,20 @@ func main() {
 		log.Fatalf("containment failure: %v", o.Failures)
 	}
 	fmt.Println("\nevery compile not affected by the fault finished correctly.")
+
+	// The batch version of this experiment (Table 5.4's node-failure row)
+	// is one Campaign API call: three Hive runs with derived seeds.
+	ecfg := flashfc.DefaultEndToEndConfig()
+	out := flashfc.RunCampaign(
+		flashfc.CampaignConfig{Seed: 42, Runs: 3},
+		flashfc.EndToEndCampaign{Config: ecfg, Fault: flashfc.NodeFailure},
+	)
+	passed := 0
+	for _, r := range out.Values() {
+		if r.OK() {
+			passed++
+		}
+	}
+	fmt.Printf("campaign: %d/%d seeded node-failure runs contained (%v)\n",
+		passed, len(out.Runs), out.Stats)
 }

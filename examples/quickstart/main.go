@@ -57,4 +57,27 @@ func main() {
 		fmt.Println("containment verified: surviving data intact,",
 			"lost lines bus-error exactly as they should.")
 	}
+
+	// The same experiment at scale is one Campaign API call: four
+	// node-failure validation runs with derived seeds, fanned out over the
+	// CPUs, each filling caches, injecting, recovering and sweeping memory.
+	vcfg := flashfc.DefaultValidationConfig()
+	vcfg.Nodes = 16
+	vcfg.MemBytes = 256 << 10
+	vcfg.L2Bytes = 64 << 10
+	out := flashfc.RunCampaign(
+		flashfc.CampaignConfig{Seed: 1, Runs: 4},
+		flashfc.ValidationCampaign{Config: vcfg, Fault: flashfc.NodeFailure},
+	)
+	passed := 0
+	for _, r := range out.Values() {
+		if r.OK() {
+			passed++
+		}
+	}
+	fmt.Printf("\ncampaign: %d/%d seeded node failures contained (%v)\n",
+		passed, len(out.Runs), out.Stats)
+	if passed != len(out.Runs) {
+		log.Fatal("campaign found a containment failure")
+	}
 }

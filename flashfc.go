@@ -318,14 +318,40 @@ func RunValidation(cfg ValidationConfig, ft FaultType, seed int64) *ValidationRe
 // RunValidationBatch runs a parallel batch of validation experiments of
 // one fault type (cfg.Workers goroutines), returning per-run results in
 // run order plus throughput accounting.
+//
+// Deprecated: use RunCampaign with a ValidationCampaign.
 func RunValidationBatch(cfg ValidationConfig, ft FaultType, runs int, seed int64) ([]ValidationRun, CampaignStats) {
-	return experiments.ValidationBatch(cfg, ft, runs, seed)
+	out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
+		ValidationCampaign{Config: cfg, Fault: ft})
+	return toRunnerResults(out.Runs), out.Stats
 }
 
 // RunTable53 regenerates Table 5.3: `runs` validation experiments per fault
 // type (on cfg.Workers goroutines), counting failures.
+//
+// Deprecated: use RunCampaign with a ValidationCampaign per fault type and
+// aggregate with Table53Row.
 func RunTable53(cfg ValidationConfig, runs int, seed int64) ([]Table53Row, CampaignStats) {
-	return experiments.Table53(cfg, runs, seed)
+	var rows []Table53Row
+	var total CampaignStats
+	for _, ft := range AllFaultTypes() {
+		out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
+			ValidationCampaign{Config: cfg, Fault: ft})
+		row := Table53Row{Fault: ft, Runs: runs}
+		snaps := make([]*MetricsSnapshot, 0, len(out.Runs))
+		for _, r := range out.Runs {
+			if r.Err != nil || !r.Value.OK() {
+				row.Failed++
+			}
+			if r.Err == nil {
+				snaps = append(snaps, r.Value.Metrics)
+			}
+		}
+		row.Metrics = MergeMetrics(snaps)
+		total.Merge(out.Stats)
+		rows = append(rows, row)
+	}
+	return rows, total
 }
 
 // DefaultScalingConfig returns the Fig 5.5 measurement setup for n nodes.
@@ -336,20 +362,29 @@ func MeasureRecovery(cfg ScalingConfig) ScalingPoint { return experiments.Measur
 
 // RunFig55 sweeps the node counts of Fig 5.5 on up to `workers`
 // goroutines (0 = one per CPU).
+//
+// Deprecated: use RunCampaign with a Fig55Campaign.
 func RunFig55(nodes []int, topo TopoKind, seed int64, workers int) []ScalingPoint {
-	return experiments.Fig55(nodes, topo, seed, workers)
+	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
+		Fig55Campaign{Nodes: nodes, Topo: topo}).Values()
 }
 
 // RunFig56L2 sweeps the L2 size at 4 nodes (Fig 5.6 left); each point's X
 // is the swept size in MB.
+//
+// Deprecated: use RunCampaign with a Fig56L2Campaign.
 func RunFig56L2(l2Sizes []uint64, seed int64, workers int) []ScalingPoint {
-	return experiments.Fig56L2(l2Sizes, seed, workers)
+	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
+		Fig56L2Campaign{L2Sizes: l2Sizes}).Values()
 }
 
 // RunFig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right);
 // each point's X is the swept size in MB.
+//
+// Deprecated: use RunCampaign with a Fig56MemCampaign.
 func RunFig56Mem(memSizes []uint64, seed int64, workers int) []ScalingPoint {
-	return experiments.Fig56Mem(memSizes, seed, workers)
+	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
+		Fig56MemCampaign{MemSizes: memSizes}).Values()
 }
 
 // DefaultEndToEndConfig returns the §5.1 end-to-end setup.
@@ -362,20 +397,51 @@ func RunEndToEnd(cfg EndToEndConfig, ft FaultType, seed int64) *EndToEndResult {
 
 // RunEndToEndBatch runs a parallel batch of end-to-end experiments of one
 // fault type (cfg.Workers goroutines).
+//
+// Deprecated: use RunCampaign with an EndToEndCampaign.
 func RunEndToEndBatch(cfg EndToEndConfig, ft FaultType, runs int, seed int64) ([]EndToEndRun, CampaignStats) {
-	return experiments.EndToEndBatch(cfg, ft, runs, seed)
+	out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
+		EndToEndCampaign{Config: cfg, Fault: ft})
+	return toRunnerResults(out.Runs), out.Stats
 }
 
 // RunTable54 regenerates Table 5.4 with the given runs per fault type (on
 // cfg.Workers goroutines).
+//
+// Deprecated: use RunCampaign with an EndToEndCampaign per fault type and
+// aggregate with Table54Row.
 func RunTable54(cfg EndToEndConfig, runsPer map[FaultType]int, seed int64) ([]Table54Row, CampaignStats) {
-	return experiments.Table54(cfg, runsPer, seed)
+	types := []FaultType{NodeFailure, RouterFailure, LinkFailure, InfiniteLoop}
+	var rows []Table54Row
+	var total CampaignStats
+	for _, ft := range types {
+		runs := runsPer[ft]
+		out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
+			EndToEndCampaign{Config: cfg, Fault: ft})
+		row := Table54Row{Fault: ft, Runs: runs}
+		snaps := make([]*MetricsSnapshot, 0, len(out.Runs))
+		for _, r := range out.Runs {
+			if r.Err != nil || !r.Value.OK() {
+				row.Failed++
+			}
+			if r.Err == nil {
+				snaps = append(snaps, r.Value.Metrics)
+			}
+		}
+		row.Metrics = MergeMetrics(snaps)
+		total.Merge(out.Stats)
+		rows = append(rows, row)
+	}
+	return rows, total
 }
 
 // RunFig57 measures user-process suspension times (Fig 5.7) on up to
 // `workers` goroutines.
+//
+// Deprecated: use RunCampaign with a Fig57Campaign.
 func RunFig57(nodes []int, memBytes, l2Bytes uint64, seed int64, workers int) []Fig57Point {
-	return experiments.Fig57(nodes, memBytes, l2Bytes, seed, workers)
+	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
+		Fig57Campaign{Nodes: nodes, MemBytes: memBytes, L2Bytes: l2Bytes}).Values()
 }
 
 // FirewallLatency measures an intercell write-miss latency with the
@@ -398,6 +464,11 @@ type RecoveryDistribution = experiments.Distribution
 
 // RunRecoveryDistribution measures recovery times over `seeds` independent
 // runs with random fault placements.
+//
+// Deprecated: use RunCampaign with a DistributionCampaign and summarize
+// with SummarizeRecovery.
 func RunRecoveryDistribution(cfg ScalingConfig, seeds int) RecoveryDistribution {
-	return experiments.RecoveryDistribution(cfg, seeds)
+	out := RunCampaign(CampaignConfig{Seed: cfg.Seed, Runs: seeds, Workers: cfg.Workers},
+		DistributionCampaign{Config: cfg})
+	return SummarizeRecovery(cfg.Nodes, out)
 }

@@ -1,0 +1,90 @@
+// Package cliflags centralizes the campaign flags shared by the flashsim,
+// tables and figures binaries. Before it existed each binary declared its
+// own subset with drifting spellings (flashsim took -parallel where the
+// configs said Workers, figures had no -runs at all); registering through
+// one package keeps the three command lines interchangeable:
+//
+//	-seed N            base random seed
+//	-runs N            runs per campaign/batch
+//	-workers N         worker goroutines (0 = one per CPU); -parallel is a
+//	                   compatible alias
+//	-metrics           print the aggregate metric registry
+//	-metrics-json      emit the metric snapshot as JSON on stdout
+//	-trace             print the recovery event timeline (single runs)
+//	-trace-json FILE   write Chrome trace-event JSON (single runs)
+//	-trace-critical    print the recovery critical path (single runs)
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashfc"
+)
+
+// Defaults parameterizes the per-binary flag defaults.
+type Defaults struct {
+	// Runs is the default for -runs (flashsim: 1; tables: 0, meaning the
+	// per-table default; figures: 12, used by the distribution sweep).
+	Runs int
+}
+
+// Flags holds the parsed values of the shared campaign flags.
+type Flags struct {
+	Seed    int64
+	Runs    int
+	Workers int
+
+	Metrics     bool
+	MetricsJSON bool
+
+	Trace         bool
+	TraceJSON     string
+	TraceCritical bool
+}
+
+// Register installs the shared flags on fs (flag.CommandLine in the
+// binaries) and returns the destination struct, to be read after
+// fs.Parse.
+func Register(fs *flag.FlagSet, def Defaults) *Flags {
+	f := &Flags{}
+	fs.Int64Var(&f.Seed, "seed", 1, "base random seed")
+	fs.IntVar(&f.Runs, "runs", def.Runs, "independent runs per campaign")
+	fs.IntVar(&f.Workers, "workers", 0, "campaign worker goroutines (0 = one per CPU)")
+	fs.IntVar(&f.Workers, "parallel", 0, "alias for -workers")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print the aggregate metric registry")
+	fs.BoolVar(&f.MetricsJSON, "metrics-json", false, "emit the metric snapshot as stable-key JSON on stdout")
+	fs.BoolVar(&f.Trace, "trace", false, "print the recovery event timeline (single runs)")
+	fs.StringVar(&f.TraceJSON, "trace-json", "", "write the recovery span tree as Chrome trace-event JSON to `file` (single runs)")
+	fs.BoolVar(&f.TraceCritical, "trace-critical", false, "print the recovery critical-path report (single runs)")
+	return f
+}
+
+// Config builds the campaign execution envelope the flags describe.
+// Metrics is set whenever either metric output was requested, so campaigns
+// aggregate snapshots exactly when something will consume them.
+func (f *Flags) Config() flashfc.CampaignConfig {
+	return flashfc.CampaignConfig{
+		Seed:    f.Seed,
+		Runs:    f.Runs,
+		Workers: f.Workers,
+		Metrics: f.Metrics || f.MetricsJSON,
+	}
+}
+
+// WantTrace reports whether any trace output was requested.
+func (f *Flags) WantTrace() bool {
+	return f.Trace || f.TraceJSON != "" || f.TraceCritical
+}
+
+// WarnTraceIgnored prints the standard warning when trace flags are set in
+// a mode that cannot honor them (multi-run campaigns interleave timelines
+// into nonsense), and reports whether it warned.
+func (f *Flags) WarnTraceIgnored() bool {
+	if !f.WantTrace() {
+		return false
+	}
+	fmt.Fprintln(os.Stderr, "warning: -trace/-trace-json/-trace-critical apply to single runs only; ignored here")
+	return true
+}

@@ -184,7 +184,7 @@ type Agent struct {
 	cwnPath     map[int][]int
 	pinged      map[int]bool
 	nodePong    map[int]bool // outcome of pings (true = pong received)
-	pongTimer   map[int]*sim.Timer
+	pongTimer   map[int]sim.Timer
 	pongWaiters map[int]int // probes waiting on a node's ping outcome
 	pongQueue   []pongDest  // pings answered once recovery code runs
 
@@ -215,7 +215,7 @@ type Agent struct {
 	flushFrom map[int]bool
 	scanned   bool
 
-	watchdog *sim.Timer
+	watchdog sim.Timer
 	// codeRunning is set once the recovery code is confirmed executing
 	// on the processor; pings are answerable from then on (§4.2).
 	codeRunning bool
@@ -292,9 +292,7 @@ func (a *Agent) setPhase(p Phase) {
 // code running on its processor dies with it.
 func (a *Agent) Kill() {
 	a.dead = true
-	if a.watchdog != nil {
-		a.watchdog.Cancel()
-	}
+	a.watchdog.Cancel()
 	a.setPhase(PhaseShutdown)
 }
 
@@ -367,7 +365,7 @@ func (a *Agent) resetState() {
 	for _, t := range a.pongTimer {
 		t.Cancel()
 	}
-	a.pongTimer = map[int]*sim.Timer{}
+	a.pongTimer = map[int]sim.Timer{}
 	a.pongWaiters = map[int]int{}
 	// pongQueue is deliberately preserved: pings that arrived just before
 	// a restart still deserve an answer from the fresh run.
@@ -443,9 +441,7 @@ func (a *Agent) armWatchdog() { a.armWatchdogFor(a.cfg.WatchdogTimeout) }
 // before long known-duration local work (the P4 flush and directory sweep
 // can legitimately exceed the normal progress timeout on big memories).
 func (a *Agent) armWatchdogFor(d sim.Time) {
-	if a.watchdog != nil {
-		a.watchdog.Cancel()
-	}
+	a.watchdog.Cancel()
 	if a.cfg.WatchdogTimeout <= 0 {
 		return
 	}

@@ -154,9 +154,7 @@ func (a *Agent) doScan() {
 // failure unit lost a component (§4.3).
 func (a *Agent) finishRecovery() {
 	a.report.P4End = a.E.Now()
-	if a.watchdog != nil {
-		a.watchdog.Cancel()
-	}
+	a.watchdog.Cancel()
 	if a.doomed {
 		a.report.ShutDown = true
 		a.setPhase(PhaseShutdown)

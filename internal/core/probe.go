@@ -52,9 +52,7 @@ func (a *Agent) isolatedShutdown() {
 	a.report.Isolated = true
 	a.report.ShutDown = true
 	a.setPhase(PhaseShutdown)
-	if a.watchdog != nil {
-		a.watchdog.Cancel()
-	}
+	a.watchdog.Cancel()
 	a.Ctrl.SetMode(magic.ModeDead)
 	if a.cfg.OnComplete != nil {
 		a.cfg.OnComplete(a.report)
@@ -148,9 +146,7 @@ func (a *Agent) onPong(m *recMsg) {
 	if _, known := a.nodePong[m.From]; known {
 		return
 	}
-	if t := a.pongTimer[m.From]; t != nil {
-		t.Cancel()
-	}
+	a.pongTimer[m.From].Cancel()
 	a.resolveNode(m.From, true)
 }
 

@@ -34,7 +34,6 @@ type Distribution struct {
 // distribution covers fault placement too, and is bit-identical for any
 // worker count. A run that panics counts as failed.
 func RecoveryDistribution(cfg ScalingConfig, seeds int) Distribution {
-	d := Distribution{Nodes: cfg.Nodes}
 	results, st := runner.Campaign(seeds, cfg.Workers, func(s int, rec *runner.Recorder) ScalingPoint {
 		if cfg.runHook != nil {
 			cfg.runHook(s)
@@ -48,6 +47,14 @@ func RecoveryDistribution(cfg ScalingConfig, seeds int) Distribution {
 		rec.Report(p.Events)
 		return p
 	}, nil)
+	return SummarizeDistribution(cfg.Nodes, results, st)
+}
+
+// SummarizeDistribution folds per-run recovery measurements into the
+// per-phase distribution summary. Exposed so the façade's campaign path
+// can aggregate identically to RecoveryDistribution.
+func SummarizeDistribution(nodes int, results []runner.Result[ScalingPoint], st runner.Stats) Distribution {
+	d := Distribution{Nodes: nodes}
 	d.Stats = st
 
 	var p1, p2, p3, p4, total []float64

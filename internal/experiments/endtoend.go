@@ -203,14 +203,21 @@ type Fig57Point struct {
 // returned in nodeCounts order.
 func Fig57(nodeCounts []int, memBytes, l2Bytes uint64, seed int64, workers int) []Fig57Point {
 	return runner.Map(len(nodeCounts), workers, func(i int) Fig57Point {
-		n := nodeCounts[i]
-		cfg := DefaultEndToEndConfig()
-		cfg.Cells = n
-		cfg.NodesPerCell = 1
-		cfg.MemBytes = memBytes
-		cfg.L2Bytes = l2Bytes
-		cfg.Seed = seed
-		r := EndToEnd(cfg, fault.NodeFailure, runner.DeriveSeed(seed, runner.StreamFig57, n))
-		return Fig57Point{Nodes: n, HW: r.HW, HWOS: r.HW + r.OS, OK: r.OK()}
+		return Fig57One(nodeCounts[i], memBytes, l2Bytes, seed)
 	})
+}
+
+// Fig57One measures one Fig 5.7 point: the suspension time after a node
+// failure on an n-node, n-cell machine. The engine seed derives from the
+// node count (not a run index), so a sweep's points are independent of
+// which other sizes it measures.
+func Fig57One(n int, memBytes, l2Bytes uint64, seed int64) Fig57Point {
+	cfg := DefaultEndToEndConfig()
+	cfg.Cells = n
+	cfg.NodesPerCell = 1
+	cfg.MemBytes = memBytes
+	cfg.L2Bytes = l2Bytes
+	cfg.Seed = seed
+	r := EndToEnd(cfg, fault.NodeFailure, runner.DeriveSeed(seed, runner.StreamFig57, n))
+	return Fig57Point{Nodes: n, HW: r.HW, HWOS: r.HW + r.OS, OK: r.OK()}
 }

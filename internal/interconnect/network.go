@@ -59,6 +59,16 @@ type channel struct {
 	waiters      []*channel // channels blocked waiting for space here
 }
 
+// dropHead removes the head packet by shifting in place: lane queues are a
+// few entries deep, and keeping the backing array's front intact lets
+// enqueues reuse its capacity instead of reallocating every round trip.
+func (ch *channel) dropHead() {
+	n := len(ch.q) - 1
+	copy(ch.q, ch.q[1:])
+	ch.q[n] = nil
+	ch.q = ch.q[:n]
+}
+
 // routerState is the mutable state of one SPIDER router.
 type routerState struct {
 	failed bool
@@ -125,6 +135,13 @@ type Network struct {
 	// as the trace flow id and as a deterministic order for packets
 	// recovered from unordered sets (see FailLink).
 	flowSeq uint64
+
+	// Pre-bound event callbacks: the method values are bound once in New
+	// so the per-flit hop, loopback-delivery and head-drop schedulings
+	// allocate nothing.
+	arriveFn   sim.Callback
+	deliverFn  sim.Callback
+	headDropFn sim.Callback
 }
 
 // tracePkt records one packet-lifecycle trace point at the given router or
@@ -185,6 +202,9 @@ func New(e *sim.Engine, topo *topology.Topology, cfg Config) *Network {
 		endpoints: make([]Endpoint, topo.Routers()),
 		inTransit: make(map[int]map[*Packet]int),
 	}
+	n.arriveFn = n.arriveEv
+	n.deliverFn = n.deliverEv
+	n.headDropFn = n.headDropEv
 	for i := range n.linkUp {
 		n.linkUp[i] = true
 	}
@@ -361,7 +381,7 @@ func (n *Network) Send(p *Packet) {
 		p.hop = 0
 	}
 	if p.Dst == p.Src && (p.SourceRoute == nil || len(p.SourceRoute) == 1) {
-		n.E.After(n.cfg.LoopbackDelay, func() { n.deliver(p) })
+		n.E.AfterCall(n.cfg.LoopbackDelay, n.deliverFn, p, nil, 0)
 		return
 	}
 	rs := n.routers[p.Src]
@@ -431,7 +451,7 @@ func (n *Network) kick(ch *channel) {
 		// Black hole: sink the head packet and try the next.
 		n.tracePkt("drop-blackhole", ch.router, pkt)
 		n.lost(pkt)
-		ch.q = ch.q[1:]
+		ch.dropHead()
 		n.Stats.DroppedLink++
 		n.mBlackholed.Inc()
 		n.wakeWaiters(ch)
@@ -443,7 +463,13 @@ func (n *Network) kick(ch *channel) {
 		n.inTransit[link] = make(map[*Packet]int)
 	}
 	n.inTransit[link][pkt] = n.Topo.Adjacency(ch.router)[ch.port].To
-	n.E.After(serviceTime(pkt), func() { n.arrive(ch, pkt, link) })
+	n.E.AfterCall(serviceTime(pkt), n.arriveFn, ch, pkt, uint64(link))
+}
+
+// arriveEv is the pre-bound event form of arrive, scheduled by kick for
+// every flit-hop traversal.
+func (n *Network) arriveEv(a1, a2 any, u uint64) {
+	n.arrive(a1.(*channel), a2.(*Packet), int(u))
 }
 
 // arrive is called when pkt finishes traversing ch's link. The packet is
@@ -552,21 +578,27 @@ func (n *Network) block(ch *channel, pkt *Packet) {
 	ch.blockedAt = n.E.Now()
 	n.mStalls.Inc()
 	if pkt.Lane.IsRecovery() {
-		n.E.After(n.cfg.RecoveryHeadDrop, func() {
-			if ch.blocked && len(ch.q) > 0 && ch.q[0] == pkt {
-				n.tracePkt("drop-headtimeout", ch.router, pkt)
-				n.lost(pkt)
-				n.popHead(ch)
-				n.Stats.DroppedHeadTimeout++
-			}
-		})
+		n.E.AfterCall(n.cfg.RecoveryHeadDrop, n.headDropFn, ch, pkt, 0)
+	}
+}
+
+// headDropEv fires the recovery-lane head-drop timeout armed by block. The
+// guard makes stale timeouts (the head moved, or the channel unblocked)
+// no-ops.
+func (n *Network) headDropEv(a1, a2 any, _ uint64) {
+	ch, pkt := a1.(*channel), a2.(*Packet)
+	if ch.blocked && len(ch.q) > 0 && ch.q[0] == pkt {
+		n.tracePkt("drop-headtimeout", ch.router, pkt)
+		n.lost(pkt)
+		n.popHead(ch)
+		n.Stats.DroppedHeadTimeout++
 	}
 }
 
 // popHead removes ch's head packet, wakes anything waiting for space in ch,
 // and restarts service on ch.
 func (n *Network) popHead(ch *channel) {
-	ch.q = ch.q[1:]
+	ch.dropHead()
 	ch.blocked = false
 	n.wakeWaiters(ch)
 	n.kick(ch)
@@ -623,12 +655,16 @@ func (n *Network) deliver(p *Packet) {
 		if backoff < sim.Microsecond {
 			backoff = sim.Microsecond
 		}
-		n.E.After(backoff, func() { n.deliver(p) })
+		n.E.AfterCall(backoff, n.deliverFn, p, nil, 0)
 		return
 	}
 	n.tracePkt("deliver", p.Dst, p)
 	n.Stats.Delivered++
 }
+
+// deliverEv is the pre-bound event form of deliver, used for loopback
+// packets and controller-refusal retries.
+func (n *Network) deliverEv(a1, _ any, _ uint64) { n.deliver(a1.(*Packet)) }
 
 // ProbeRouter models the §4.2 router interrogation used while determining
 // the closest working neighbors: a source-routed probe is sent along path

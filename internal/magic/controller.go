@@ -174,8 +174,8 @@ type mshr struct {
 	cb       func(Result)
 	ucb      func(any, error)
 	naks     int
-	timeout  *sim.Timer
-	retry    *sim.Timer
+	timeout  sim.Timer
+	retry    sim.Timer
 	// recalled is set when a recall for this line arrives before the
 	// exclusive grant does (the recall overtook the grant on another
 	// virtual lane); the grant is then written straight back home.
@@ -242,6 +242,14 @@ type Controller struct {
 	mNAKsSent       *metrics.Counter
 	mNAKsReceived   *metrics.Counter
 	mTimeouts       *metrics.Counter
+
+	// Pre-bound event callbacks (bound once in New): handler dispatch,
+	// request completion, timeouts and NAK retries schedule without
+	// allocating a closure per event.
+	dispatchFn sim.Callback
+	completeFn sim.Callback
+	timeoutFn  sim.Callback
+	retryFn    sim.Callback
 }
 
 // New wires a controller to its node's state and registers it as the
@@ -255,6 +263,10 @@ func New(e *sim.Engine, net *interconnect.Network, id int, space coherence.AddrS
 		firewall: make(map[coherence.Addr]coherence.NodeSet),
 		mshrs:    make(map[uint64]*mshr),
 	}
+	c.dispatchFn = c.dispatchEv
+	c.completeFn = c.completeEv
+	c.timeoutFn = c.timeoutEv
+	c.retryFn = c.retryEv
 	for i := range c.nodeUp {
 		c.nodeUp[i] = true
 	}
@@ -448,13 +460,48 @@ func (c *Controller) process() {
 		return
 	}
 	c.busy = true
-	occ := c.occupancy(msg)
-	c.E.After(occ, func() {
-		c.busy = false
-		c.Stats.HandlersRun++
-		c.handle(msg)
-		c.process()
-	})
+	c.E.AfterCall(c.occupancy(msg), c.dispatchFn, msg, nil, 0)
+}
+
+// dispatchEv fires when a handler's occupancy elapses: apply the handler's
+// effects and continue the dispatch loop.
+func (c *Controller) dispatchEv(a1, _ any, _ uint64) {
+	c.busy = false
+	c.Stats.HandlersRun++
+	c.handle(a1.(*coherence.Message))
+	c.process()
+}
+
+// completeEv invokes a completion callback (a1) with a token result (u),
+// or with an error result when a2 is non-nil.
+func (c *Controller) completeEv(a1, a2 any, u uint64) {
+	cb := a1.(func(Result))
+	if a2 != nil {
+		cb(Result{Err: a2.(error)})
+		return
+	}
+	cb(Result{Token: u})
+}
+
+// timeoutEv fires a memory-op timeout for MSHR sequence u; completed
+// operations delete their MSHR, which makes a raced timeout a no-op.
+func (c *Controller) timeoutEv(_, _ any, u uint64) {
+	m, live := c.mshrs[u]
+	if !live {
+		return
+	}
+	c.Stats.Timeouts++
+	c.mTimeouts.Inc()
+	c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "memop-timeout", 0, int64(m.addr), 0)
+	c.trigger(ReasonTimeout)
+}
+
+// retryEv reissues a NAKed request for MSHR sequence u if it is still
+// outstanding.
+func (c *Controller) retryEv(_, _ any, u uint64) {
+	if m, live := c.mshrs[u]; live {
+		c.sendRequest(m)
+	}
 }
 
 // occupancy returns the handler execution time for msg (§3.1: common

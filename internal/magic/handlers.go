@@ -333,11 +333,7 @@ func (c *Controller) handleReply(msg *coherence.Message) {
 			return
 		}
 		c.Stats.Retries++
-		m.retry = c.E.After(c.cfg.NAKRetryDelay, func() {
-			if _, live := c.mshrs[m.seq]; live {
-				c.sendRequest(m)
-			}
-		})
+		m.retry = c.E.AfterCall(c.cfg.NAKRetryDelay, c.retryFn, nil, nil, m.seq)
 	case coherence.MsgBusErr:
 		c.completeMSHR(m, Result{Err: ErrBusError})
 	}
@@ -370,9 +366,7 @@ func (c *Controller) handleUncachedReply(msg *coherence.Message) {
 	if !ok || !m.uncached {
 		return
 	}
-	if m.timeout != nil {
-		m.timeout.Cancel()
-	}
+	m.timeout.Cancel()
 	delete(c.mshrs, m.seq)
 	if m.ucb == nil {
 		return

@@ -42,16 +42,14 @@ func (c *Controller) access(addr coherence.Addr, excl, hasStore bool, storeTok u
 	// L2 hit path.
 	if l := c.Cache.Lookup(addr); l != nil {
 		if !excl {
-			tok := l.Token
-			c.E.After(c.cfg.CacheHitTime, func() { cb(Result{Token: tok}) })
+			c.E.AfterCall(c.cfg.CacheHitTime, c.completeFn, cb, nil, l.Token)
 			return
 		}
 		if l.State == coherence.CacheExclusive {
 			if hasStore {
 				l.Token = storeTok
 			}
-			tok := l.Token
-			c.E.After(c.cfg.CacheHitTime, func() { cb(Result{Token: tok}) })
+			c.E.AfterCall(c.cfg.CacheHitTime, c.completeFn, cb, nil, l.Token)
 			return
 		}
 		// Shared→exclusive upgrade falls through to a GETX.
@@ -88,7 +86,7 @@ func (c *Controller) nextSeq() uint64 {
 }
 
 func (c *Controller) completeErr(cb func(Result), err error) {
-	c.E.After(c.cfg.CacheHitTime, func() { cb(Result{Err: err}) })
+	c.E.AfterCall(c.cfg.CacheHitTime, c.completeFn, cb, err, 0)
 }
 
 // sendRequest (re)issues the coherence request for m and arms its timeout.
@@ -103,18 +101,8 @@ func (c *Controller) sendRequest(m *mshr) {
 }
 
 func (c *Controller) armTimeout(m *mshr) {
-	if m.timeout != nil {
-		m.timeout.Cancel()
-	}
-	m.timeout = c.E.After(c.cfg.MemOpTimeout, func() {
-		if _, live := c.mshrs[m.seq]; !live {
-			return
-		}
-		c.Stats.Timeouts++
-		c.mTimeouts.Inc()
-		c.cfg.Trace.Point(c.E.Now(), c.ID, "magic", "memop-timeout", 0, int64(m.addr), 0)
-		c.trigger(ReasonTimeout)
-	})
+	m.timeout.Cancel()
+	m.timeout = c.E.AfterCall(c.cfg.MemOpTimeout, c.timeoutFn, nil, nil, m.seq)
 }
 
 // sendMsg routes a protocol message to dst, applying the node map. It
@@ -140,12 +128,8 @@ func (c *Controller) sendMsg(dst int, msg *coherence.Message) bool {
 // completeMSHR finalizes an outstanding operation and replays any same-line
 // operations merged into it (most become cache hits).
 func (c *Controller) completeMSHR(m *mshr, res Result) {
-	if m.timeout != nil {
-		m.timeout.Cancel()
-	}
-	if m.retry != nil {
-		m.retry.Cancel()
-	}
+	m.timeout.Cancel()
+	m.retry.Cancel()
 	delete(c.mshrs, m.seq)
 	if m.cb != nil {
 		m.cb(res)
@@ -216,20 +200,14 @@ func (c *Controller) EnterRecovery() {
 	}
 	for _, s := range seqs {
 		m := c.mshrs[s]
-		if m.timeout != nil {
-			m.timeout.Cancel()
-		}
-		if m.retry != nil {
-			m.retry.Cancel()
-		}
+		m.timeout.Cancel()
+		m.retry.Cancel()
 		if m.cb != nil {
-			cb := m.cb
-			c.E.After(0, func() { cb(Result{Err: ErrAborted}) })
+			c.E.AfterCall(0, c.completeFn, m.cb, ErrAborted, 0)
 		}
 		for _, w := range m.waiters {
-			cb := w.cb
-			if cb != nil {
-				c.E.After(0, func() { cb(Result{Err: ErrAborted}) })
+			if w.cb != nil {
+				c.E.AfterCall(0, c.completeFn, w.cb, ErrAborted, 0)
 			}
 		}
 		if m.ucb != nil {

@@ -52,12 +52,70 @@ type CPU struct {
 	// onDrained fires once when paused and the last in-flight op ends.
 	onDrained func()
 
+	// freeRecs pools in-flight operation records so the issue/retire
+	// cycle allocates nothing in steady state; specDone is the shared
+	// completion for discarded speculative fetches.
+	freeRecs []*opRecord
+	specDone func(magic.Result)
+
 	Stats Stats
 }
 
 // New returns a CPU with the given outstanding-operation window.
 func New(e *sim.Engine, ctrl *magic.Controller, window int) *CPU {
-	return &CPU{ID: ctrl.ID, E: e, Ctrl: ctrl, Window: window}
+	c := &CPU{ID: ctrl.ID, E: e, Ctrl: ctrl, Window: window}
+	c.specDone = func(magic.Result) { c.Stats.Completed++ }
+	return c
+}
+
+// opRecord carries one in-flight operation through its MAGIC round trip.
+// done is bound to the record once when the record is minted, so reissuing
+// from the pool costs no allocation.
+type opRecord struct {
+	cpu  *CPU
+	op   Op
+	done func(magic.Result)
+}
+
+func (c *CPU) newRecord(op Op) *opRecord {
+	var r *opRecord
+	if n := len(c.freeRecs); n > 0 {
+		r = c.freeRecs[n-1]
+		c.freeRecs[n-1] = nil
+		c.freeRecs = c.freeRecs[:n-1]
+	} else {
+		r = &opRecord{cpu: c}
+		r.done = r.retire
+	}
+	r.op = op
+	return r
+}
+
+// retire completes the record's operation: accounting, the submitter's
+// callback, drain notification, and the next issue round. The record
+// returns to the pool first — the op is copied out — so a completion that
+// submits new work can reuse it immediately.
+func (r *opRecord) retire(res magic.Result) {
+	c, op := r.cpu, r.op
+	r.op = Op{}
+	c.freeRecs = append(c.freeRecs, r)
+	c.inflight--
+	c.Stats.Completed++
+	switch res.Err {
+	case magic.ErrBusError:
+		c.Stats.BusErrors++
+	case magic.ErrAborted:
+		c.Stats.Aborted++
+	}
+	if op.Done != nil {
+		op.Done(res)
+	}
+	if c.paused && c.inflight == 0 && c.onDrained != nil {
+		fn := c.onDrained
+		c.onDrained = nil
+		fn()
+	}
+	c.issue()
 }
 
 // Submit queues an operation for issue.
@@ -91,25 +149,7 @@ func (c *CPU) issue() {
 		c.queue = c.queue[1:]
 		c.inflight++
 		c.Stats.Issued++
-		done := func(res magic.Result) {
-			c.inflight--
-			c.Stats.Completed++
-			switch res.Err {
-			case magic.ErrBusError:
-				c.Stats.BusErrors++
-			case magic.ErrAborted:
-				c.Stats.Aborted++
-			}
-			if op.Done != nil {
-				op.Done(res)
-			}
-			if c.paused && c.inflight == 0 && c.onDrained != nil {
-				fn := c.onDrained
-				c.onDrained = nil
-				fn()
-			}
-			c.issue()
-		}
+		done := c.newRecord(op).done
 		switch op.Kind {
 		case OpRead:
 			c.Ctrl.Read(op.Addr, done)
@@ -126,5 +166,5 @@ func (c *CPU) issue() {
 // line exclusive into a cache that may subsequently fail.
 func (c *CPU) Speculate(addr coherence.Addr) {
 	c.Stats.Issued++
-	c.Ctrl.ReadExclusive(addr, func(magic.Result) { c.Stats.Completed++ })
+	c.Ctrl.ReadExclusive(addr, c.specDone)
 }

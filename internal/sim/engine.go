@@ -3,10 +3,15 @@
 // nanoseconds; events scheduled for the same instant fire in the order they
 // were scheduled, which makes whole-machine runs bit-for-bit reproducible for
 // a given seed.
+//
+// The scheduler is a three-level hierarchical timing wheel (64 ns base slots,
+// ~1 s horizon) with a binary-heap fallback for far-future timeouts and a
+// free list that recycles event records across firings. Events pop in exactly
+// the (time, sequence) order of a binary heap — the structure is a throughput
+// optimization, never a semantic one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -61,58 +66,55 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Milliseconds returns the time as a floating-point number of milliseconds.
 func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
 
-// event is a single scheduled callback.
+// Callback is the pre-bound event form: the arguments are stored inline in
+// the pooled event record, so hot paths that would otherwise allocate a
+// fresh closure per scheduling (per-flit hop delivery, MAGIC dispatch,
+// processor retirement) schedule with zero heap allocations. a1 and a2 must
+// be pointer-shaped values (pointers, funcs, interfaces) to stay
+// allocation-free; integers ride in u.
+type Callback func(a1, a2 any, u uint64)
+
+// event is a single scheduled callback. Records are recycled through the
+// engine's free list; gen distinguishes a record's successive scheduling
+// lives so that a stale Timer cannot cancel its slot's next tenant.
 type event struct {
 	at     Time
 	seq    uint64 // tiebreaker: FIFO among same-time events
 	fn     func()
+	cb     Callback
+	a1, a2 any
+	u      uint64
+	gen    uint64
 	cancel bool
-	index  int // heap index, -1 when popped
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	live    int // events in the heap that are not cancelled
-	rng     *rand.Rand
-	stopped bool
-	fired   uint64
-	// compactions counts heap rebuilds that evicted cancelled events;
-	// surfaced through the machine-wide metrics registry.
+	now  Time
+	seq  uint64
+	live int // scheduled events that are not cancelled
+	// total counts resident event records: scheduled minus popped. It is
+	// the wheel-era equivalent of the old heap's len(events), and the
+	// compaction trigger below is computed from it so that the
+	// sim.heap_compactions metric stays bit-identical across the engine
+	// swap.
+	total       int
+	rng         *rand.Rand
+	stopped     bool
+	fired       uint64
 	compactions uint64
+
+	wheel wheel
+	far   farHeap
+	// drain is the sorted run of due events pulled from the reached wheel
+	// slot; drainPos is the pop cursor and drainCeil the exclusive time
+	// bound below which new schedulings must be merged into drain rather
+	// than placed in the wheel.
+	drain     []*event
+	drainPos  int
+	drainCeil Time
+	free      []*event
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -134,20 +136,23 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // Pending reports how many live (non-cancelled) events are still queued.
 func (e *Engine) Pending() int { return e.live }
 
-// Compactions reports how many cancelled-event heap compactions have run.
+// Compactions reports how many cancelled-event compactions have run.
 func (e *Engine) Compactions() uint64 { return e.compactions }
 
-// Timer identifies a scheduled event so that it can be canceled.
+// Timer identifies a scheduled event so that it can be canceled. It is a
+// plain value — scheduling never allocates a Timer — and the zero Timer is
+// valid: Cancel on it is a no-op.
 type Timer struct {
-	e  *Engine
-	ev *event
+	e   *Engine
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the timer's callback from running. Canceling an
 // already-fired or already-canceled timer is a no-op. It reports whether the
 // callback was actually prevented.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 {
+func (t Timer) Cancel() bool {
+	if t.e == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.cancel {
 		return false
 	}
 	t.ev.cancel = true
@@ -156,82 +161,197 @@ func (t *Timer) Cancel() bool {
 	return true
 }
 
-// compactMin is the heap size below which compaction is not worth a
-// rebuild.
+// compactMin is the resident-event count below which compaction is not
+// worth a sweep.
 const compactMin = 64
 
-// maybeCompact rebuilds the heap without its cancelled events once they
-// outnumber the live ones. Protocol timeouts are armed per operation and
-// almost always cancelled, so without this the heap accumulates dead
-// entries until their timestamps come up; compaction keeps the heap — and
-// every Push/Pop's log factor — proportional to the live event count.
+// maybeCompact discards cancelled events from every structure (drain, wheel
+// slots, far heap) once they outnumber the live ones. Protocol timeouts are
+// armed per operation and almost always cancelled, so without this the
+// queue accumulates dead entries until their timestamps come up. The
+// trigger condition depends only on the resident and live counts — both
+// structure-independent — so compaction counts match the old heap engine
+// exactly.
 func (e *Engine) maybeCompact() {
-	if len(e.events) < compactMin || 2*e.live >= len(e.events) {
+	if e.total < compactMin || 2*e.live >= e.total {
 		return
 	}
 	e.compactions++
-	kept := e.events[:0]
-	for _, ev := range e.events {
-		if ev.cancel {
-			ev.index = -1
-			continue
+	w := e.drainPos
+	for i := e.drainPos; i < len(e.drain); i++ {
+		if ev := e.drain[i]; ev.cancel {
+			e.release(ev)
+		} else {
+			e.drain[w] = ev
+			w++
 		}
-		kept = append(kept, ev)
 	}
-	for i := len(kept); i < len(e.events); i++ {
-		e.events[i] = nil
+	for i := w; i < len(e.drain); i++ {
+		e.drain[i] = nil
 	}
-	e.events = kept
-	for i, ev := range e.events {
-		ev.index = i
+	e.drain = e.drain[:w]
+	e.wheel.purgeCancelled(e)
+	k := 0
+	for _, ev := range e.far {
+		if ev.cancel {
+			e.release(ev)
+		} else {
+			e.far[k] = ev
+			k++
+		}
 	}
-	heap.Init(&e.events)
+	for i := k; i < len(e.far); i++ {
+		e.far[i] = nil
+	}
+	e.far = e.far[:k]
+	e.far.reinit()
+	e.total = e.live
+}
+
+// alloc takes an event record off the free list (or mints one) and stamps
+// it with the next sequence number.
+func (e *Engine) alloc(at Time) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// release returns a popped or purged event record to the free list,
+// retiring its generation so stale Timers can no longer reach it.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cb = nil
+	ev.a1 = nil
+	ev.a2 = nil
+	ev.u = 0
+	ev.cancel = false
+	e.free = append(e.free, ev)
+}
+
+// schedule places a freshly allocated event and returns its Timer.
+func (e *Engine) schedule(ev *event) Timer {
+	e.live++
+	e.total++
+	if ev.at < e.drainCeil {
+		e.insertDrain(ev)
+	} else {
+		e.placeWheel(ev, e.ref())
+	}
+	return Timer{e: e, ev: ev, gen: ev.gen}
 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // that is always a model bug.
-func (e *Engine) At(at Time, fn func()) *Timer {
+func (e *Engine) At(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	e.live++
-	return &Timer{e: e, ev: ev}
+	ev := e.alloc(at)
+	ev.fn = fn
+	return e.schedule(ev)
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
+// AtCall schedules the pre-bound cb(a1, a2, u) at absolute time at. Unlike
+// At with a capturing closure, the arguments travel inside the pooled event
+// record, so the call allocates nothing.
+func (e *Engine) AtCall(at Time, cb Callback, a1, a2 any, u uint64) Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := e.alloc(at)
+	ev.cb = cb
+	ev.a1 = a1
+	ev.a2 = a2
+	ev.u = u
+	return e.schedule(ev)
+}
+
+// AfterCall schedules the pre-bound cb(a1, a2, u) d nanoseconds from now
+// without allocating.
+func (e *Engine) AfterCall(d Time, cb Callback, a1, a2 any, u uint64) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtCall(e.now+d, cb, a1, a2, u)
+}
+
 // Stop aborts the current Run/RunUntil after the currently executing event
 // returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// peekNext surfaces the earliest pending event — refilling the drain run
+// from the wheel as needed — without consuming it. The refill mutations are
+// invisible to callers: they never change pop order.
+func (e *Engine) peekNext() *event {
+	for e.drainPos >= len(e.drain) {
+		if !e.refill() {
+			if len(e.far) > 0 {
+				return e.far[0]
+			}
+			return nil
+		}
+	}
+	d := e.drain[e.drainPos]
+	if len(e.far) > 0 {
+		if f := e.far[0]; f.at < d.at || (f.at == d.at && f.seq < d.seq) {
+			return f
+		}
+	}
+	return d
+}
+
 // step executes the next event. It reports false when the queue is empty.
 func (e *Engine) step(limit Time, bounded bool) bool {
-	for len(e.events) > 0 {
-		next := e.events[0]
+	for {
+		next := e.peekNext()
+		if next == nil {
+			return false
+		}
 		if bounded && next.at > limit {
 			e.now = limit
 			return false
 		}
-		heap.Pop(&e.events)
+		if len(e.far) > 0 && next == e.far[0] {
+			e.far.pop()
+		} else {
+			e.drain[e.drainPos] = nil
+			e.drainPos++
+		}
+		e.total--
 		if next.cancel {
+			e.release(next)
 			continue
 		}
 		e.live--
 		e.now = next.at
 		e.fired++
-		next.fn()
+		fn, cb, a1, a2, u := next.fn, next.cb, next.a1, next.a2, next.u
+		e.release(next)
+		if cb != nil {
+			cb(a1, a2, u)
+		} else {
+			fn()
+		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty or Stop is called.

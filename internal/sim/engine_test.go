@@ -117,8 +117,7 @@ func TestTimerCancel(t *testing.T) {
 
 func TestCancelAfterFire(t *testing.T) {
 	e := NewEngine(1)
-	var tm *Timer
-	tm = e.After(10, func() {})
+	tm := e.After(10, func() {})
 	e.Run()
 	if tm.Cancel() {
 		t.Fatal("Cancel after fire should report false")
@@ -207,7 +206,7 @@ func TestPending(t *testing.T) {
 
 func TestCancelCompactsHeap(t *testing.T) {
 	e := NewEngine(1)
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 1000; i++ {
 		timers = append(timers, e.After(Time(i+1), func() {}))
 	}
@@ -221,8 +220,8 @@ func TestCancelCompactsHeap(t *testing.T) {
 	if e.Pending() != 10 {
 		t.Fatalf("Pending = %d, want 10", e.Pending())
 	}
-	if n := len(e.events); n >= 500 {
-		t.Fatalf("heap holds %d entries after mass cancel, want compacted", n)
+	if n := e.total; n >= 500 {
+		t.Fatalf("queue holds %d resident events after mass cancel, want compacted", n)
 	}
 	if e.Compactions() == 0 {
 		t.Fatal("Compactions() = 0 after a mass cancel that shrank the heap")
@@ -243,7 +242,7 @@ func TestCancelCompactsHeap(t *testing.T) {
 func TestCompactionPreservesFiringOrder(t *testing.T) {
 	e := NewEngine(1)
 	var fired []Time
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 256; i++ {
 		at := Time((i * 37) % 251)
 		timers = append(timers, e.At(at, func() { fired = append(fired, at) }))

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The timing wheel must be observationally identical to a plain min-ordered
+// event queue: same pop order by (at, seq), same Pending/EventsFired counts,
+// and — because the goldens pin it — the same compaction count. refSched is
+// that specification, written as naively as possible (linear-scan min pop)
+// so that it is obviously correct, and the property test below drives both
+// implementations through randomized schedule/cancel/advance scripts that
+// cover every placement tier: level-0 slots, cascades from levels 1 and 2,
+// the far heap beyond the 2^30 ns horizon, and same-slot inserts that land
+// in the live drain run.
+
+type popRec struct {
+	at Time
+	id int
+}
+
+type refEvent struct {
+	at        Time
+	seq       uint64
+	id        int
+	cancelled bool
+	gone      bool // popped or purged; cancel must fail
+	respawn   bool
+}
+
+type refSched struct {
+	pending     []*refEvent
+	now         Time
+	seq         uint64
+	fired       uint64
+	compactions uint64
+	total, live int
+	nextSpawn   int
+	order       []popRec
+}
+
+func (r *refSched) schedule(d Time, id int, respawn bool) *refEvent {
+	ev := &refEvent{at: r.now + d, seq: r.seq, id: id, respawn: respawn}
+	r.seq++
+	r.pending = append(r.pending, ev)
+	r.total++
+	r.live++
+	return ev
+}
+
+func (r *refSched) cancel(ev *refEvent) bool {
+	if ev.gone || ev.cancelled {
+		return false
+	}
+	ev.cancelled = true
+	r.live--
+	if r.total >= compactMin && 2*r.live < r.total {
+		r.compactions++
+		k := 0
+		for _, p := range r.pending {
+			if p.cancelled {
+				p.gone = true
+			} else {
+				r.pending[k] = p
+				k++
+			}
+		}
+		r.pending = r.pending[:k]
+		r.total = r.live
+	}
+	return true
+}
+
+func (r *refSched) runUntil(t Time) {
+	for {
+		mi := -1
+		for i, ev := range r.pending {
+			if mi < 0 || ev.at < r.pending[mi].at ||
+				(ev.at == r.pending[mi].at && ev.seq < r.pending[mi].seq) {
+				mi = i
+			}
+		}
+		if mi < 0 || r.pending[mi].at > t {
+			break
+		}
+		ev := r.pending[mi]
+		r.pending = append(r.pending[:mi], r.pending[mi+1:]...)
+		ev.gone = true
+		r.total--
+		if ev.cancelled {
+			continue
+		}
+		r.live--
+		r.now = ev.at
+		r.fired++
+		r.order = append(r.order, popRec{ev.at, ev.id})
+		if ev.respawn {
+			id := r.nextSpawn
+			r.nextSpawn++
+			r.schedule(respawnDelay(ev.id), id, false)
+		}
+	}
+	if r.now < t {
+		r.now = t
+	}
+}
+
+// respawnDelay derives a deterministic follow-up delay from an event id, so
+// the engine-side callback and the reference compute identical respawns.
+func respawnDelay(id int) Time {
+	return Time(uint64(id) * 2654435761 % (1 << 16))
+}
+
+// randDelay stresses every placement tier of the wheel plus the far heap.
+func randDelay(rng *rand.Rand) Time {
+	switch rng.Intn(5) {
+	case 0:
+		return Time(rng.Intn(64)) // level-0 slot, often the live drain run
+	case 1:
+		return Time(rng.Intn(1 << 14)) // level 1 cascade
+	case 2:
+		return Time(rng.Intn(1 << 22)) // level 2 cascade
+	case 3:
+		return Time(rng.Intn(1 << 30)) // anywhere in the wheel horizon
+	default:
+		return Time(1<<30 + rng.Int63n(1<<32)) // far heap
+	}
+}
+
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	const spawnBase = 1 << 20 // respawned events get ids above this
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		e := NewEngine(1)
+		ref := &refSched{nextSpawn: spawnBase}
+		var got []popRec
+		spawnID := spawnBase
+		var mkFire func(id int, respawn bool) func()
+		mkFire = func(id int, respawn bool) func() {
+			return func() {
+				got = append(got, popRec{e.Now(), id})
+				if respawn {
+					nid := spawnID
+					spawnID++
+					e.After(respawnDelay(id), mkFire(nid, false))
+				}
+			}
+		}
+		timers := make(map[int]Timer)
+		refEvs := make(map[int]*refEvent)
+		nextID := 0
+		for round := 0; round < 40; round++ {
+			for j, k := 0, rng.Intn(20); j < k; j++ {
+				d := randDelay(rng)
+				respawn := rng.Intn(4) == 0
+				id := nextID
+				nextID++
+				timers[id] = e.After(d, mkFire(id, respawn))
+				refEvs[id] = ref.schedule(d, id, respawn)
+			}
+			for j, k := 0, rng.Intn(8); j < k && nextID > 0; j++ {
+				id := rng.Intn(nextID)
+				gotOK := timers[id].Cancel()
+				wantOK := ref.cancel(refEvs[id])
+				if gotOK != wantOK {
+					t.Fatalf("trial %d round %d: Cancel(%d) = %v, reference says %v",
+						trial, round, id, gotOK, wantOK)
+				}
+			}
+			target := e.Now() + Time(rng.Int63n(1<<uint(6+rng.Intn(27))))
+			e.RunUntil(target)
+			ref.runUntil(target)
+			checkAgainstRef(t, trial, round, e, ref, got)
+		}
+		// Drain everything, far heap included.
+		const end = Time(1) << 62
+		e.RunUntil(end)
+		ref.runUntil(end)
+		checkAgainstRef(t, trial, -1, e, ref, got)
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: %d events still pending after full drain", trial, e.Pending())
+		}
+	}
+}
+
+func checkAgainstRef(t *testing.T, trial, round int, e *Engine, ref *refSched, got []popRec) {
+	t.Helper()
+	if len(got) != len(ref.order) {
+		t.Fatalf("trial %d round %d: engine fired %d events, reference fired %d",
+			trial, round, len(got), len(ref.order))
+	}
+	for i := range got {
+		if got[i] != ref.order[i] {
+			t.Fatalf("trial %d round %d: pop %d is (t=%v id=%d), reference says (t=%v id=%d)",
+				trial, round, i, got[i].at, got[i].id, ref.order[i].at, ref.order[i].id)
+		}
+	}
+	if e.Pending() != ref.live {
+		t.Fatalf("trial %d round %d: Pending() = %d, reference %d", trial, round, e.Pending(), ref.live)
+	}
+	if e.EventsFired() != ref.fired {
+		t.Fatalf("trial %d round %d: EventsFired() = %d, reference %d", trial, round, e.EventsFired(), ref.fired)
+	}
+	if e.Compactions() != ref.compactions {
+		t.Fatalf("trial %d round %d: Compactions() = %d, reference %d", trial, round, e.Compactions(), ref.compactions)
+	}
+}
