@@ -26,11 +26,16 @@ func benchPR4Validation(b *testing.B, nodes, runs int) {
 	cfg.L2Bytes = 16 << 10
 	cfg.FillLines = 64
 	cfg.Workers = 1
+	// Warm-start sharing (PR 5) is pinned off so this series keeps
+	// measuring the full un-amortized per-run cost across PRs; the
+	// BenchmarkPR5 series measures the warm-start gain explicitly.
+	ccfg := flashfc.CampaignConfig{Seed: 7, Runs: runs, Workers: 1, WarmStart: flashfc.WarmStartOff}
 	var eventsPerSec, eventsPerOp float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, stats := flashfc.RunValidationBatch(cfg, flashfc.NodeFailure, runs, 7)
+		out := flashfc.RunCampaign(ccfg, flashfc.ValidationCampaign{Config: cfg, Fault: flashfc.NodeFailure})
+		results, stats := out.Runs, out.Stats
 		for _, r := range results {
 			if r.Err != nil || !r.Value.OK() {
 				b.Fatalf("campaign run failed: %v", r.Err)

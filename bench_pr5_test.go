@@ -1,0 +1,93 @@
+package flashfc_test
+
+// The PR 5 benchmark suite: the warm-start snapshot/fork numbers behind
+// BENCH_PR5.json. The Warm/Cold pair runs the identical 16-node validation
+// campaign with warm-start sharing on and off — the per-run computation is
+// bit-identical, so the wall-clock ratio is exactly the amortization gain
+// (the acceptance bar is >= 1.5x). Fork16 and Warmup16 price the two
+// halves of that trade separately: forking a frozen snapshot must cost a
+// small fraction of rebuilding the warm state it replaces.
+//
+// The campaign keeps the default warm-up (FillLines 192, the state a fork
+// shares) and measures in campaign style: a short 16-line post-fork burst
+// and a stride-32 sampled verification sweep. A full stride-1 sweep is the
+// single-run validation setting — it re-reads every line of every node's
+// memory, which both modes pay identically and which would swamp the
+// warm-up being amortized.
+
+import (
+	"testing"
+
+	"flashfc"
+)
+
+func benchPR5Campaign(b *testing.B, mode flashfc.WarmStartMode) {
+	b.Helper()
+	cfg := pr5WarmConfig()
+	ccfg := flashfc.CampaignConfig{Seed: 7, Runs: 16, Workers: 1, WarmStart: mode}
+	var eventsPerSec, eventsPerOp float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := flashfc.RunCampaign(ccfg, flashfc.ValidationCampaign{Config: cfg, Fault: flashfc.NodeFailure})
+		for _, r := range out.Runs {
+			if r.Err != nil || !r.Value.OK() {
+				b.Fatalf("campaign run failed: %v", r.Err)
+			}
+		}
+		eventsPerSec += out.Stats.EventsPerSec()
+		eventsPerOp += float64(out.Stats.Events)
+	}
+	b.ReportMetric(eventsPerSec/float64(b.N), "sim-events/s")
+	b.ReportMetric(eventsPerOp/float64(b.N), "sim-events/op")
+}
+
+// BenchmarkPR5WarmValidation16 is the acceptance benchmark: a 16-node
+// node-failure campaign with warm-start sharing on (one warm-up, 16 forks).
+func BenchmarkPR5WarmValidation16(b *testing.B) {
+	benchPR5Campaign(b, flashfc.WarmStartAuto)
+}
+
+// BenchmarkPR5ColdValidation16 is the same campaign with sharing off
+// (every run rebuilds the warm state): the amortization baseline.
+func BenchmarkPR5ColdValidation16(b *testing.B) {
+	benchPR5Campaign(b, flashfc.WarmStartOff)
+}
+
+func pr5WarmConfig() flashfc.ValidationConfig {
+	cfg := flashfc.DefaultValidationConfig()
+	cfg.Nodes = 16
+	cfg.BurstLines = 16
+	cfg.Stride = 32
+	return cfg
+}
+
+// BenchmarkPR5Fork16 prices one fork: rehydrating an independent 16-node
+// machine from a frozen snapshot (memory/directory images shared
+// copy-on-write, everything else rebuilt or deep-copied).
+func BenchmarkPR5Fork16(b *testing.B) {
+	ws := flashfc.WarmupValidation(pr5WarmConfig(), flashfc.DeriveSeed(7, flashfc.StreamWarmup, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := flashfc.MachineFromSnapshot(ws.Snap, nil)
+		if m.E.Pending() != 0 {
+			b.Fatal("fork not quiescent")
+		}
+	}
+}
+
+// BenchmarkPR5Warmup16 prices what a fork replaces: building and filling
+// the machine from scratch and freezing it.
+func BenchmarkPR5Warmup16(b *testing.B) {
+	cfg := pr5WarmConfig()
+	seed := flashfc.DeriveSeed(7, flashfc.StreamWarmup, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := flashfc.WarmupValidation(cfg, seed)
+		if ws.Snap == nil {
+			b.Fatal("no snapshot")
+		}
+	}
+}

@@ -48,6 +48,14 @@ type CampaignConfig struct {
 	// timelines into one trace produces nonsense, so multi-run campaigns
 	// ignore it.
 	Trace *Tracer
+	// WarmStart controls warm-up amortization for experiments that support
+	// it (those implementing WarmExperiment, e.g. ValidationCampaign). The
+	// default (Auto) shares one warmed machine snapshot per worker and
+	// forks every run from it; Off rebuilds the warm state privately for
+	// every run. Both modes execute the identical per-run computation, so
+	// results are bit-identical — Off is the cross-check and the cost
+	// baseline. Experiments without warm support ignore it.
+	WarmStart WarmStartMode
 }
 
 // RunEnv is the per-run environment RunCampaign hands an Experiment.
@@ -71,6 +79,25 @@ type Experiment[T any] interface {
 	Points() int
 	// Run performs run i with the derived seed.
 	Run(env RunEnv, i int, seed int64) T
+}
+
+// WarmExperiment is an Experiment whose runs can fork a shared, immutable
+// warm state (a machine snapshot) instead of warming up from scratch.
+// RunCampaign uses it automatically: with warm-start on (the default),
+// Warmup runs once per worker and RunWarm replaces Run; with warm-start
+// off, every run builds a private warm state and forks it — the identical
+// computation, so both modes (and the legacy Run path they replace) stay
+// deterministic per (seed, i).
+//
+// Warmup must be deterministic in cfg alone, and RunWarm must treat ws as
+// read-only (fork, never mutate) — that is what keeps any worker count and
+// both modes bit-identical.
+type WarmExperiment[T any] interface {
+	Experiment[T]
+	// Warmup builds the shared warm state for one worker.
+	Warmup(cfg CampaignConfig) any
+	// RunWarm performs run i from the warm state ws.
+	RunWarm(env RunEnv, ws any, i int, seed int64) T
 }
 
 // CampaignRun is one run of a campaign: the produced value plus host-side
@@ -129,15 +156,35 @@ func RunCampaign[T any](cfg CampaignConfig, exp Experiment[T]) CampaignResult[T]
 		env.Trace = cfg.Trace
 	}
 	stream := exp.Stream()
-	results, stats := runner.Campaign(n, cfg.Workers, func(i int, rec *runner.Recorder) T {
-		seed := cfg.Seed
+	seedFor := func(i int) int64 {
 		if stream >= 0 {
-			seed = runner.DeriveSeed(cfg.Seed, stream, i)
+			return runner.DeriveSeed(cfg.Seed, stream, i)
 		}
-		v := exp.Run(env, i, seed)
+		return cfg.Seed
+	}
+	var setup func() any
+	run := func(i int, _ any, rec *runner.Recorder) T {
+		v := exp.Run(env, i, seedFor(i))
 		rec.Report(eventsOf(v))
 		return v
-	}, nil)
+	}
+	if warm, ok := exp.(WarmExperiment[T]); ok {
+		if cfg.WarmStart.Enabled() {
+			setup = func() any { return warm.Warmup(cfg) }
+			run = func(i int, ws any, rec *runner.Recorder) T {
+				v := warm.RunWarm(env, ws, i, seedFor(i))
+				rec.Report(eventsOf(v))
+				return v
+			}
+		} else {
+			run = func(i int, _ any, rec *runner.Recorder) T {
+				v := warm.RunWarm(env, warm.Warmup(cfg), i, seedFor(i))
+				rec.Report(eventsOf(v))
+				return v
+			}
+		}
+	}
+	results, stats := runner.CampaignWithSetup(n, cfg.Workers, setup, run, nil)
 	out := CampaignResult[T]{Stats: stats, Runs: make([]CampaignRun[T], len(results))}
 	var snaps []*MetricsSnapshot
 	for i, r := range results {
@@ -206,6 +253,20 @@ func (c ValidationCampaign) Run(env RunEnv, _ int, seed int64) *ValidationResult
 	cfg := c.Config
 	cfg.Trace = env.Trace
 	return experiments.Validation(cfg, c.Fault, seed)
+}
+
+// Warmup implements WarmExperiment: one cache-fill warm-up, keyed on the
+// campaign seed via StreamWarmup, frozen into a forkable snapshot.
+func (c ValidationCampaign) Warmup(cfg CampaignConfig) any {
+	vcfg := c.Config
+	vcfg.Trace = nil
+	return experiments.WarmupValidation(vcfg, runner.DeriveSeed(cfg.Seed, runner.StreamWarmup, 0))
+}
+
+// RunWarm implements WarmExperiment: fork the warm snapshot and run the
+// fault/recovery/verify sequence with the run's derived seed.
+func (c ValidationCampaign) RunWarm(env RunEnv, ws any, _ int, seed int64) *ValidationResult {
+	return experiments.ValidationFromWarm(ws.(*experiments.WarmState), c.Fault, seed, env.Trace)
 }
 
 // EndToEndCampaign repeats §5.1 Hive parallel-make runs of one fault type

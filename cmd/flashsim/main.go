@@ -48,6 +48,15 @@ import (
 // under -metrics-json so that stdout carries only the JSON snapshot.
 var hout io.Writer = os.Stdout
 
+// stopProfiles flushes any -cpuprofile/-memprofile output; exit routes
+// every termination through it so profiles survive error paths too.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
 func main() {
 	nodes := flag.Int("nodes", 8, "number of nodes")
 	topo := flag.String("topo", "mesh", "topology: mesh or hypercube")
@@ -59,6 +68,8 @@ func main() {
 	stride := flag.Int("stride", 1, "verification stride (1 = every line)")
 	cf := cliflags.Register(flag.CommandLine, cliflags.Defaults{Runs: 1})
 	flag.Parse()
+	stopProfiles = cf.StartProfiles()
+	defer stopProfiles()
 
 	if cf.MetricsJSON {
 		hout = os.Stderr
@@ -105,7 +116,7 @@ func main() {
 		ft = flashfc.FalseAlarm
 	default:
 		fmt.Fprintf(os.Stderr, "unknown fault %q\n", *faultName)
-		os.Exit(2)
+		exit(2)
 	}
 
 	if cf.Runs > 1 {
@@ -134,7 +145,7 @@ func main() {
 		return
 	}
 	fmt.Fprintf(hout, "result:     FAIL — %s\n", r.Note)
-	os.Exit(1)
+	exit(1)
 }
 
 // traceOpts bundles the trace output configuration for one run.
@@ -155,7 +166,7 @@ func emitTrace(o traceOpts) {
 		f, err := os.Create(o.jsonPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trace-json: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		werr := o.tracer.WriteChromeJSON(f)
 		if cerr := f.Close(); werr == nil {
@@ -163,7 +174,7 @@ func emitTrace(o traceOpts) {
 		}
 		if werr != nil {
 			fmt.Fprintf(os.Stderr, "trace-json: %v\n", werr)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(hout, "trace:      wrote %s (open at https://ui.perfetto.dev or chrome://tracing)\n", o.jsonPath)
 	}
@@ -186,7 +197,7 @@ func emitMetrics(snap *flashfc.MetricsSnapshot, table, asJSON bool) {
 	if asJSON {
 		if err := snap.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 }
@@ -220,13 +231,13 @@ func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string
 	if cf.MetricsJSON {
 		if err := out.Metrics.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	fmt.Fprintf(hout, "throughput: %v\n", out.Stats)
 	if failed > 0 {
 		fmt.Fprintf(hout, "result:     FAIL — %d/%d runs failed\n", failed, cf.Runs)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(hout, "result:     PASS — all %d faults contained, no data anomalies\n", cf.Runs)
 }
@@ -266,7 +277,7 @@ func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, topts tr
 	emitTrace(topts)
 	if !ok {
 		emitMetrics(m.MetricsSnapshot(), showMetrics, metricsJSON)
-		os.Exit(1)
+		exit(1)
 	}
 	pt := m.Aggregate()
 	fmt.Fprintf(hout, "phases:     P1=%v  P1,2=%v  P1,2,3=%v  total=%v\n", pt.P1, pt.P12, pt.P123, pt.Total)
@@ -279,7 +290,7 @@ func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, topts tr
 	emitMetrics(m.MetricsSnapshot(), showMetrics, metricsJSON)
 	if !res.OK() {
 		fmt.Fprintln(hout, "result:     FAIL")
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintln(hout, "result:     PASS — compound fault contained")
 }

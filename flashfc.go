@@ -94,8 +94,19 @@ const (
 // minimum-support variant; Config.Recovery.QuorumFraction is the §4.2
 // split-brain guard.
 
+// MachineSnapshot is a frozen machine image taken at a quiescent point
+// (see Machine.Snapshot); MachineFromSnapshot forks it any number of times.
+type MachineSnapshot = machine.Snapshot
+
 // NewMachine builds and wires a machine.
 func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
+
+// MachineFromSnapshot rehydrates an independent machine from a snapshot in
+// O(non-memory state); memory and directory images are shared
+// copy-on-write. tr (which may be nil) becomes the fork's tracer.
+func MachineFromSnapshot(s *MachineSnapshot, tr *Tracer) *Machine {
+	return machine.FromSnapshot(s, tr)
+}
 
 // DefaultMachineConfig returns a Table 5.1-style configuration.
 func DefaultMachineConfig(nodes int) MachineConfig { return machine.DefaultConfig(nodes) }
@@ -305,10 +316,40 @@ type (
 	Table54Row = experiments.Table54Row
 	// Fig57Point is one suspension-time measurement.
 	Fig57Point = experiments.Fig57Point
+	// WarmStartMode selects how batch drivers amortize warm-up (shared
+	// snapshot per worker vs per-run rebuild; bit-identical either way).
+	WarmStartMode = experiments.WarmStartMode
+	// WarmState is a warmed-up validation machine frozen into a forkable
+	// snapshot (see WarmupValidation / ValidationFromWarm in
+	// internal/experiments).
+	WarmState = experiments.WarmState
+)
+
+// Warm-start modes (see WarmStartMode).
+const (
+	WarmStartAuto = experiments.WarmStartAuto
+	WarmStartOff  = experiments.WarmStartOff
+	WarmStartOn   = experiments.WarmStartOn
 )
 
 // DefaultValidationConfig returns the standard §5.2 validation setup.
 func DefaultValidationConfig() ValidationConfig { return experiments.DefaultValidationConfig() }
+
+// WarmupValidation builds a warmed validation machine (cache fill run to
+// quiescence) frozen into a forkable snapshot. Derive warmSeed with
+// DeriveSeed(base, StreamWarmup, 0) so all workers rebuild it identically.
+func WarmupValidation(cfg ValidationConfig, warmSeed int64) *WarmState {
+	return experiments.WarmupValidation(cfg, warmSeed)
+}
+
+// ValidationFromWarm performs one validation run by forking ws; the fault
+// and post-fork fill burst are drawn from runSeed-private streams.
+func ValidationFromWarm(ws *WarmState, ft FaultType, runSeed int64, tr *Tracer) *ValidationResult {
+	return experiments.ValidationFromWarm(ws, ft, runSeed, tr)
+}
+
+// StreamWarmup is the seed stream of warm-start snapshot construction.
+const StreamWarmup = runner.StreamWarmup
 
 // RunValidation performs one §5.2 validation run.
 func RunValidation(cfg ValidationConfig, ft FaultType, seed int64) *ValidationResult {

@@ -13,12 +13,19 @@
 //	-trace             print the recovery event timeline (single runs)
 //	-trace-json FILE   write Chrome trace-event JSON (single runs)
 //	-trace-critical    print the recovery critical path (single runs)
+//	-warmstart         share warmed machine snapshots across a batch's runs
+//	                   (default true; false rebuilds warm state per run —
+//	                   bit-identical, just slower)
+//	-cpuprofile FILE   write a pprof CPU profile
+//	-memprofile FILE   write a pprof allocation profile at exit
 package cliflags
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"flashfc"
 )
@@ -42,6 +49,11 @@ type Flags struct {
 	Trace         bool
 	TraceJSON     string
 	TraceCritical bool
+
+	WarmStart bool
+
+	CPUProfile string
+	MemProfile string
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the
@@ -58,6 +70,9 @@ func Register(fs *flag.FlagSet, def Defaults) *Flags {
 	fs.BoolVar(&f.Trace, "trace", false, "print the recovery event timeline (single runs)")
 	fs.StringVar(&f.TraceJSON, "trace-json", "", "write the recovery span tree as Chrome trace-event JSON to `file` (single runs)")
 	fs.BoolVar(&f.TraceCritical, "trace-critical", false, "print the recovery critical-path report (single runs)")
+	fs.BoolVar(&f.WarmStart, "warmstart", true, "share warmed machine snapshots across a batch's runs (false: rebuild per run; bit-identical)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof allocation profile to `file` at exit")
 	return f
 }
 
@@ -65,11 +80,58 @@ func Register(fs *flag.FlagSet, def Defaults) *Flags {
 // Metrics is set whenever either metric output was requested, so campaigns
 // aggregate snapshots exactly when something will consume them.
 func (f *Flags) Config() flashfc.CampaignConfig {
+	warm := flashfc.WarmStartAuto
+	if !f.WarmStart {
+		warm = flashfc.WarmStartOff
+	}
 	return flashfc.CampaignConfig{
-		Seed:    f.Seed,
-		Runs:    f.Runs,
-		Workers: f.Workers,
-		Metrics: f.Metrics || f.MetricsJSON,
+		Seed:      f.Seed,
+		Runs:      f.Runs,
+		Workers:   f.Workers,
+		Metrics:   f.Metrics || f.MetricsJSON,
+		WarmStart: warm,
+	}
+}
+
+// StartProfiles starts the profiles the flags requested and returns a stop
+// function that flushes them; call it (once) on every exit path. With no
+// profile flags set both start and stop are no-ops.
+func (f *Flags) StartProfiles() func() {
+	var cpu *os.File
+	if f.CPUProfile != "" {
+		var err error
+		cpu, err = os.Create(f.CPUProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
 	}
 }
 

@@ -108,6 +108,22 @@ func (c *Cache) Flush() (addrs []Addr, lines []*CacheLine) {
 	return addrs, lines
 }
 
+// Clone returns a deep copy of the cache. Unlike memory and directory
+// images, cache contents are copied eagerly when forking: every resident
+// line is mutable protocol state, and caches are bounded by L2Bytes.
+func (c *Cache) Clone() *Cache {
+	n := &Cache{
+		capacity: c.capacity,
+		lines:    make(map[Addr]*CacheLine, len(c.lines)),
+		fifo:     append([]Addr(nil), c.fifo...),
+	}
+	for a, l := range c.lines {
+		cl := *l
+		n.lines[a] = &cl
+	}
+	return n
+}
+
 // ForEach visits resident lines in insertion order.
 func (c *Cache) ForEach(fn func(a Addr, l *CacheLine)) {
 	for _, a := range c.fifo {

@@ -58,9 +58,18 @@ type DirEntry struct {
 
 // Directory is the home-side protocol state for one node's memory lines.
 // Entries are sparse: absent means DirInvalid.
+//
+// A directory can be frozen for forking: Freeze seals the current entries
+// as an immutable base map shared by any number of forked machines, and
+// subsequent accesses copy entries up into a private overlay on first
+// touch. A nil overlay value is a tombstone shadowing a deleted base
+// entry. Whole-directory sweeps (ForEach, Scan, ScanLiveness) mutate every
+// entry anyway, so they materialize the base into the overlay first and
+// then run unchanged.
 type Directory struct {
 	nodes   int
-	entries map[Addr]*DirEntry
+	entries map[Addr]*DirEntry // overlay; nil value = deleted base entry
+	frozen  map[Addr]*DirEntry // shared immutable base; nil when never frozen
 }
 
 // NewDirectory returns an empty directory for a machine of n nodes.
@@ -68,17 +77,89 @@ func NewDirectory(n int) *Directory {
 	return &Directory{nodes: n, entries: make(map[Addr]*DirEntry)}
 }
 
+// Freeze seals the directory's current contents as an immutable shared
+// base and returns it. The directory itself continues copy-on-write on top
+// of the same base, so freezing is invisible to protocol behavior; the
+// returned map (entries included) must never be mutated.
+func (d *Directory) Freeze() map[Addr]*DirEntry {
+	d.materialize()
+	d.frozen = d.entries
+	d.entries = make(map[Addr]*DirEntry)
+	return d.frozen
+}
+
+// ForkDirectory returns a directory whose initial contents are the frozen
+// base, shared copy-on-write with every other fork of the same snapshot.
+func ForkDirectory(nodes int, frozen map[Addr]*DirEntry) *Directory {
+	return &Directory{nodes: nodes, entries: make(map[Addr]*DirEntry), frozen: frozen}
+}
+
+// cloneEntry copies a base entry up into a privately mutable one.
+func cloneEntry(e *DirEntry) *DirEntry {
+	c := *e
+	c.Sharers = e.Sharers.Clone()
+	return &c
+}
+
+// materialize copies every un-shadowed base entry into the overlay and
+// drops the base, removing tombstones along the way. Called before sweeps
+// that visit (and mutate) every entry.
+func (d *Directory) materialize() {
+	if d.frozen != nil {
+		for a, fe := range d.frozen {
+			if _, shadowed := d.entries[a]; !shadowed {
+				d.entries[a] = cloneEntry(fe)
+			}
+		}
+		d.frozen = nil
+	}
+	for a, e := range d.entries {
+		if e == nil {
+			delete(d.entries, a)
+		}
+	}
+}
+
+// drop removes line a from the live view: a plain delete when no base
+// entry shadows it, a nil tombstone otherwise.
+func (d *Directory) drop(a Addr) {
+	if _, ok := d.frozen[a]; ok {
+		d.entries[a] = nil
+	} else {
+		delete(d.entries, a)
+	}
+}
+
 // Lookup returns the entry for line a, or nil if the line is DirInvalid.
-func (d *Directory) Lookup(a Addr) *DirEntry { return d.entries[a.Line()] }
+func (d *Directory) Lookup(a Addr) *DirEntry {
+	a = a.Line()
+	if e, ok := d.entries[a]; ok {
+		return e // may be a nil tombstone: the line is DirInvalid
+	}
+	if fe, ok := d.frozen[a]; ok {
+		e := cloneEntry(fe)
+		d.entries[a] = e
+		return e
+	}
+	return nil
+}
 
 // Get returns the entry for line a, creating a DirInvalid entry if needed.
 func (d *Directory) Get(a Addr) *DirEntry {
 	a = a.Line()
 	e, ok := d.entries[a]
-	if !ok {
-		e = &DirEntry{Sharers: NewNodeSet(d.nodes)}
-		d.entries[a] = e
+	if e != nil {
+		return e
 	}
+	if !ok {
+		if fe, fok := d.frozen[a]; fok {
+			e = cloneEntry(fe)
+			d.entries[a] = e
+			return e
+		}
+	}
+	e = &DirEntry{Sharers: NewNodeSet(d.nodes)}
+	d.entries[a] = e
 	return e
 }
 
@@ -86,17 +167,37 @@ func (d *Directory) Get(a Addr) *DirEntry {
 // the directory sparse.
 func (d *Directory) Release(a Addr) {
 	a = a.Line()
-	if e, ok := d.entries[a]; ok && e.State == DirInvalid {
-		delete(d.entries, a)
+	if e, ok := d.entries[a]; ok {
+		if e != nil && e.State == DirInvalid {
+			d.drop(a)
+		}
+		return
+	}
+	if fe, ok := d.frozen[a]; ok && fe.State == DirInvalid {
+		d.drop(a)
 	}
 }
 
 // Len returns the number of non-invalid entries, for tests.
-func (d *Directory) Len() int { return len(d.entries) }
+func (d *Directory) Len() int {
+	n := 0
+	for _, e := range d.entries {
+		if e != nil {
+			n++
+		}
+	}
+	for a := range d.frozen {
+		if _, shadowed := d.entries[a]; !shadowed {
+			n++
+		}
+	}
+	return n
+}
 
 // ForEach visits all entries (order unspecified); the visitor may mutate
 // entry state but must not add or delete entries.
 func (d *Directory) ForEach(fn func(a Addr, e *DirEntry)) {
+	d.materialize()
 	for a, e := range d.entries {
 		fn(a, e)
 	}
@@ -109,6 +210,7 @@ func (d *Directory) ForEach(fn func(a Addr, e *DirEntry)) {
 // not cached", because after the flush all processor caches are empty. It
 // returns the addresses newly marked incoherent.
 func (d *Directory) Scan() []Addr {
+	d.materialize()
 	var lost []Addr
 	for a, e := range d.entries {
 		switch e.State {
@@ -142,6 +244,7 @@ func (d *Directory) Scan() []Addr {
 // so it conservatively becomes shared by every live node. It returns the
 // addresses newly marked incoherent.
 func (d *Directory) ScanLiveness(up func(node int) bool) []Addr {
+	d.materialize()
 	var lost []Addr
 	for a, e := range d.entries {
 		switch e.State {
@@ -201,10 +304,16 @@ func (d *Directory) Incoherent(a Addr) bool {
 // incoherent.
 func (d *Directory) Scrub(a Addr) bool {
 	a = a.Line()
-	e, ok := d.entries[a]
-	if !ok || e.State != DirIncoherent {
-		return false
+	if e, ok := d.entries[a]; ok {
+		if e == nil || e.State != DirIncoherent {
+			return false
+		}
+		d.drop(a)
+		return true
 	}
-	delete(d.entries, a)
-	return true
+	if fe, ok := d.frozen[a]; ok && fe.State == DirIncoherent {
+		d.drop(a)
+		return true
+	}
+	return false
 }

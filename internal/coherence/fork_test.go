@@ -1,0 +1,160 @@
+package coherence
+
+import "testing"
+
+// A forked memory must see frozen writes, diverge privately, and leave the
+// source and its base untouched.
+func TestMemoryCOWFork(t *testing.T) {
+	m := NewMemory(0, 1<<20)
+	m.Write(0x100, 11)
+	m.Write(0x200, 22)
+	base := m.Freeze()
+
+	f := ForkMemory(0, 1<<20, base)
+	if got := f.Read(0x100); got != 11 {
+		t.Fatalf("fork missed frozen write: %d", got)
+	}
+	if got := f.Read(0x300); got != InitialToken(0x300) {
+		t.Fatalf("fork untouched line: %d", got)
+	}
+	f.Write(0x100, 99)
+	f.Write(0x400, 44)
+	if got := m.Read(0x100); got != 11 {
+		t.Fatalf("fork write leaked into source: %d", got)
+	}
+	m.Write(0x200, 77)
+	if got := f.Read(0x200); got != 22 {
+		t.Fatalf("post-freeze source write leaked into fork: %d", got)
+	}
+	if got := f.TouchedLines(); got != 3 { // 0x100 (shadowed), 0x200, 0x400
+		t.Fatalf("fork TouchedLines = %d, want 3", got)
+	}
+	if got := m.TouchedLines(); got != 2 {
+		t.Fatalf("source TouchedLines = %d, want 2", got)
+	}
+}
+
+// Freezing twice (a second snapshot after more writes) must fold the
+// overlay into a fresh base without mutating the first base.
+func TestMemoryRefreeze(t *testing.T) {
+	m := NewMemory(0, 1<<20)
+	m.Write(0x100, 1)
+	base1 := m.Freeze()
+	m.Write(0x100, 2)
+	base2 := m.Freeze()
+	if base1[0x100] != 1 {
+		t.Fatalf("first base mutated: %d", base1[0x100])
+	}
+	if base2[0x100] != 2 {
+		t.Fatalf("second base stale: %d", base2[0x100])
+	}
+}
+
+func dirWith(t *testing.T, states map[Addr]DirState) *Directory {
+	t.Helper()
+	d := NewDirectory(4)
+	for a, s := range states {
+		e := d.Get(a)
+		e.State = s
+		if s == DirExclusive {
+			e.Owner = 1
+		}
+		if s == DirShared {
+			e.Sharers.Add(2)
+		}
+	}
+	return d
+}
+
+// Source and fork directories must be fully independent after a freeze:
+// entry mutation, Release, and Scrub on one side may not show on the other.
+func TestDirectoryCOWForkIndependence(t *testing.T) {
+	d := dirWith(t, map[Addr]DirState{
+		0x000: DirExclusive,
+		0x080: DirShared,
+		0x100: DirIncoherent,
+	})
+	base := d.Freeze()
+	f := ForkDirectory(4, base)
+
+	// Mutating a copied-up entry in the fork leaves the source alone.
+	fe := f.Get(0x000)
+	fe.State = DirShared
+	fe.Sharers.Add(3)
+	if se := d.Lookup(0x000); se.State != DirExclusive || se.Sharers.Has(3) {
+		t.Fatalf("fork entry mutation leaked into source: %+v", se)
+	}
+
+	// Deleting through a tombstone in the fork leaves the source alone.
+	f.Get(0x080).State = DirInvalid
+	f.Get(0x080).Sharers.Clear()
+	f.Release(0x080)
+	if f.Lookup(0x080) != nil {
+		t.Fatal("fork Release left the entry visible")
+	}
+	if d.Lookup(0x080) == nil {
+		t.Fatal("fork Release leaked into source")
+	}
+
+	// Scrub of a frozen incoherent entry works through the tombstone.
+	if !f.Scrub(0x100) {
+		t.Fatal("fork Scrub missed the frozen incoherent entry")
+	}
+	if f.Incoherent(0x100) {
+		t.Fatal("scrubbed line still incoherent in fork")
+	}
+	if !d.Incoherent(0x100) {
+		t.Fatal("fork Scrub leaked into source")
+	}
+
+	if got := f.Len(); got != 1 { // only 0x000 remains live in the fork
+		t.Fatalf("fork Len = %d, want 1", got)
+	}
+	if got := d.Len(); got != 3 {
+		t.Fatalf("source Len = %d, want 3", got)
+	}
+}
+
+// Sweeps materialize the base first: Scan must behave identically on a
+// fork and on a never-frozen directory with the same contents.
+func TestDirectoryScanAfterFork(t *testing.T) {
+	states := map[Addr]DirState{
+		0x000: DirExclusive,
+		0x080: DirShared,
+		0x100: DirPendingRecall,
+	}
+	plain := dirWith(t, states)
+	forked := ForkDirectory(4, dirWith(t, states).Freeze())
+
+	lostP := plain.Scan()
+	lostF := forked.Scan()
+	if len(lostP) != len(lostF) || len(lostF) != 2 {
+		t.Fatalf("Scan lost %d (plain) vs %d (fork), want 2", len(lostP), len(lostF))
+	}
+	if plain.Len() != forked.Len() {
+		t.Fatalf("post-Scan Len diverged: %d vs %d", plain.Len(), forked.Len())
+	}
+	if !forked.Incoherent(0x000) || !forked.Incoherent(0x100) || forked.Incoherent(0x080) {
+		t.Fatal("fork Scan produced wrong incoherent set")
+	}
+}
+
+func TestCacheClone(t *testing.T) {
+	c := NewCache(4 * 128)
+	c.Install(0x000, CacheExclusive, 7)
+	c.Install(0x080, CacheShared, 8)
+	f := c.Clone()
+	f.Lookup(0x000).Token = 9
+	f.Invalidate(0x080)
+	if c.Lookup(0x000).Token != 7 {
+		t.Fatal("clone line mutation leaked into source")
+	}
+	if c.Lookup(0x080) == nil {
+		t.Fatal("clone invalidate leaked into source")
+	}
+	// FIFO order survives the clone: a full fill evicts in source order.
+	addrs, _ := f.Flush()
+	if len(addrs) != 1 || addrs[0] != 0x000 {
+		t.Fatalf("clone flush order wrong: %v", addrs)
+	}
+}

@@ -3,10 +3,16 @@ package coherence
 // Memory is one node's portion of the distributed main memory. Lines are
 // stored sparsely: a line that was never written holds its deterministic
 // initial token, so an untouched 16 MB memory costs nothing.
+//
+// A memory can be frozen for forking: Freeze seals the current contents as
+// an immutable base map that any number of forked machines share, and
+// subsequent writes land in a private overlay. Reads check the overlay,
+// then the base, then fall back to the initial token.
 type Memory struct {
 	base   Addr
 	bytes  uint64
-	tokens map[Addr]uint64
+	tokens map[Addr]uint64 // overlay: writes since the last freeze
+	frozen map[Addr]uint64 // shared immutable base; nil when never frozen
 }
 
 // InitialToken is the deterministic content of a never-written line.
@@ -16,6 +22,31 @@ func InitialToken(line Addr) uint64 { return uint64(line) ^ 0xf1a5_4c0d_e000_000
 // base and spans bytes.
 func NewMemory(base Addr, bytes uint64) *Memory {
 	return &Memory{base: base, bytes: bytes, tokens: make(map[Addr]uint64)}
+}
+
+// Freeze seals the current contents as an immutable shared base and
+// returns it. The memory itself continues on top of the same base with an
+// empty overlay, so freezing is invisible to subsequent reads and writes;
+// the returned map must never be mutated.
+func (m *Memory) Freeze() map[Addr]uint64 {
+	if len(m.tokens) > 0 || m.frozen == nil {
+		merged := make(map[Addr]uint64, len(m.frozen)+len(m.tokens))
+		for a, t := range m.frozen {
+			merged[a] = t
+		}
+		for a, t := range m.tokens {
+			merged[a] = t
+		}
+		m.frozen = merged
+		m.tokens = make(map[Addr]uint64)
+	}
+	return m.frozen
+}
+
+// ForkMemory returns a memory whose initial contents are the frozen base,
+// shared copy-on-write with every other fork of the same snapshot.
+func ForkMemory(base Addr, bytes uint64, frozen map[Addr]uint64) *Memory {
+	return &Memory{base: base, bytes: bytes, tokens: make(map[Addr]uint64), frozen: frozen}
 }
 
 // Owns reports whether line a is homed in this memory.
@@ -29,6 +60,9 @@ func (m *Memory) Read(a Addr) uint64 {
 	if t, ok := m.tokens[a]; ok {
 		return t
 	}
+	if t, ok := m.frozen[a]; ok {
+		return t
+	}
 	return InitialToken(a)
 }
 
@@ -36,4 +70,12 @@ func (m *Memory) Read(a Addr) uint64 {
 func (m *Memory) Write(a Addr, token uint64) { m.tokens[a.Line()] = token }
 
 // TouchedLines returns the number of lines ever written, for tests.
-func (m *Memory) TouchedLines() int { return len(m.tokens) }
+func (m *Memory) TouchedLines() int {
+	n := len(m.frozen)
+	for a := range m.tokens {
+		if _, ok := m.frozen[a]; !ok {
+			n++
+		}
+	}
+	return n
+}

@@ -59,6 +59,14 @@ type ValidationConfig struct {
 	// ValidationBatch) may use; 0 means one per CPU. Single runs ignore
 	// it. Any worker count yields bit-identical results.
 	Workers int
+	// WarmStart selects how batch drivers amortize the cache-fill warm-up:
+	// the default (Auto) builds one warmed machine snapshot per worker and
+	// forks every run from it; Off rebuilds the warm state per run. Both
+	// modes are bit-identical. Single Validation runs ignore it.
+	WarmStart WarmStartMode
+	// BurstLines sizes the post-fork fill burst of warm-start runs; 0
+	// defaults to a quarter of the warm fill (minimum 8).
+	BurstLines int
 	// Trace, when non-nil, collects the run's event timeline. It applies
 	// to single Validation runs only: batch drivers clear it — the tracer
 	// itself is safe to share across goroutines, but interleaving many
@@ -170,17 +178,13 @@ type Table53Row struct {
 // from runner.DeriveSeed(seed, StreamValidation+ft, i), so the batch is
 // bit-identical for any worker count; a run that panics is returned as a
 // failed Result instead of aborting the batch.
+//
+// Batches are warm-started (see WarmValidationBatch): every run forks a
+// warmed machine snapshot instead of filling caches from scratch, and
+// cfg.WarmStart controls whether the snapshot is shared per worker
+// (default) or rebuilt per run — the results are identical either way.
 func ValidationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*ValidationResult], runner.Stats) {
-	bcfg := cfg
-	bcfg.Trace = nil
-	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *ValidationResult {
-		if cfg.runHook != nil {
-			cfg.runHook(i)
-		}
-		r := Validation(bcfg, ft, runner.DeriveSeed(seed, runner.StreamValidation+int(ft), i))
-		rec.Report(r.Events)
-		return r
-	}, nil)
+	return WarmValidationBatch(cfg, ft, runs, seed)
 }
 
 // Table53 runs the full validation batch: `runs` experiments per fault

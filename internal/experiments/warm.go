@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flashfc/internal/fault"
+	"flashfc/internal/machine"
+	"flashfc/internal/runner"
+	"flashfc/internal/sim"
+	"flashfc/internal/trace"
+	"flashfc/internal/workload"
+)
+
+// WarmStartMode selects how a batch driver amortizes warm-up: Auto (the
+// zero value) and On share one warmed machine snapshot per worker and fork
+// every run from it; Off builds a private warm state for every run. Both
+// modes execute the identical per-run computation — fork from a snapshot of
+// the same deterministic warm-up — so they are bit-identical; Off exists as
+// the cross-check (and the cost baseline the benchmarks compare against).
+type WarmStartMode int
+
+const (
+	// WarmStartAuto is the default: warm-start on.
+	WarmStartAuto WarmStartMode = iota
+	// WarmStartOff rebuilds the warm state privately for every run.
+	WarmStartOff
+	// WarmStartOn shares one warm snapshot per worker (same as Auto).
+	WarmStartOn
+)
+
+// Enabled reports whether runs may share a warm snapshot.
+func (m WarmStartMode) Enabled() bool { return m != WarmStartOff }
+
+// WarmState is a warmed-up validation machine, frozen pre-fault: the
+// snapshot is immutable and every run forks its own machine from it, so one
+// WarmState may serve any number of concurrent runs.
+type WarmState struct {
+	Cfg  ValidationConfig
+	Snap *machine.Snapshot
+	// FillLines is the effective warm-up fill per node (after defaulting).
+	FillLines int
+}
+
+// WarmupValidation builds the §5.2 validation machine, runs the cache fill
+// to completion, drains the engine to a quiescent point, and freezes it.
+// The warm-up is seeded by warmSeed alone — derive it with
+// DeriveSeed(base, StreamWarmup, 0), never from a run index — so every
+// worker of a campaign reconstructs the identical snapshot. It panics if
+// the fill cannot quiesce within cfg.Deadline (batch drivers turn that
+// into failed runs via the runner's panic isolation).
+//
+// The warm-up machine is never traced: with warm-start, a run's trace
+// covers the forked portion only, in both warm-start modes.
+func WarmupValidation(cfg ValidationConfig, warmSeed int64) *WarmState {
+	mc := machine.DefaultConfig(cfg.Nodes)
+	mc.Seed = warmSeed
+	mc.MemBytes = cfg.MemBytes
+	mc.L2Bytes = cfg.L2Bytes
+	m := machine.New(mc)
+	filler := workload.NewFiller(m)
+	if cfg.FillLines > 0 && cfg.FillLines < filler.FillLines {
+		filler.FillLines = cfg.FillLines
+	}
+	done := false
+	filler.Start(func() { done = true })
+	// The fill's completion callback is not quiescence: evicted-line
+	// writebacks are fire-and-forget, so drain until nothing is pending.
+	for (!done || m.E.Pending() > 0) && m.E.Now() < cfg.Deadline {
+		m.E.RunUntil(m.E.Now() + sim.Millisecond)
+	}
+	if !done || m.E.Pending() > 0 {
+		panic(fmt.Sprintf("experiments: warm-up did not quiesce within %v (fill done=%v, %d events pending)",
+			cfg.Deadline, done, m.E.Pending()))
+	}
+	return &WarmState{Cfg: cfg, Snap: m.Snapshot(), FillLines: filler.FillLines}
+}
+
+// burstLines sizes the post-fork fill burst: BurstLines when set, else a
+// quarter of the warm fill (minimum 8) — enough concurrent traffic for the
+// fault to land mid-transaction, a fraction of the warm-up's cost.
+func (ws *WarmState) burstLines() int {
+	if ws.Cfg.BurstLines > 0 {
+		return ws.Cfg.BurstLines
+	}
+	b := ws.FillLines / 4
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// ValidationFromWarm performs one validation run by forking ws: a fresh
+// machine rehydrated from the snapshot runs a runSeed-private fill burst,
+// the fault (also drawn from a runSeed-private stream, so sibling forks
+// place different faults) lands once half the burst has committed, and
+// recovery plus the whole-memory sweep proceed as in Validation. The
+// engine's own random stream is untouched by runSeed — it resumes exactly
+// where the warm-up paused it, which is what makes a fork bit-identical to
+// a fresh warm-up continued by the same script.
+func ValidationFromWarm(ws *WarmState, ft fault.Type, runSeed int64, tr *trace.Tracer) *ValidationResult {
+	cfg := ws.Cfg
+	m := machine.FromSnapshot(ws.Snap, tr)
+	rng := rand.New(rand.NewSource(runSeed))
+	f := fault.Random(rng, ft, m.Topo, 1)
+	res := &ValidationResult{Fault: f}
+	defer func() {
+		res.Events = m.E.EventsFired()
+		res.Metrics = m.MetricsSnapshot()
+	}()
+
+	burst := workload.NewFillerSeeded(m, runSeed)
+	burst.FillLines = ws.burstLines()
+	injected := false
+	burst.OnHalfDone = func() {
+		injected = true
+		m.Inject(f)
+	}
+	burstDone := false
+	burst.Start(func() { burstDone = true })
+	// The fork resumes at the warm-up's clock, so the deadline is relative.
+	deadline := m.E.Now() + cfg.Deadline
+	for !burstDone && m.E.Now() < deadline {
+		m.E.RunUntil(m.E.Now() + sim.Millisecond)
+	}
+	if !injected {
+		m.Inject(f)
+	}
+	kick := detectionVictim(m, f)
+	m.Nodes[0].CPU.Submit(workload.TouchOp(m, kick))
+	res.Recovered = m.RunUntilRecovered(deadline)
+	if !res.Recovered {
+		res.Note = fmt.Sprintf("recovery incomplete after %v", cfg.Deadline)
+		return res
+	}
+	res.Phases = m.Aggregate()
+	res.Verify = m.VerifyMemory(0, cfg.Stride)
+	if !res.Verify.OK() {
+		res.Note = res.Verify.String()
+	}
+	return res
+}
+
+// ValidationWarm is the one-shot warm-start run: a private warm-up
+// followed by one fork. It is the warm-start-off unit of work, and the
+// "fresh" side of the fork-vs-fresh determinism contract.
+func ValidationWarm(cfg ValidationConfig, ft fault.Type, warmSeed, runSeed int64) *ValidationResult {
+	ws := WarmupValidation(cfg, warmSeed)
+	return ValidationFromWarm(ws, ft, runSeed, cfg.Trace)
+}
+
+// WarmValidationBatch runs `runs` warm-start validation runs of one fault
+// type. Mode On/Auto: each worker builds the warm snapshot once and every
+// run forks from it. Mode Off: every run builds its own warm state. The
+// two are bit-identical; Off only pays the warm-up once per run instead of
+// once per worker. runner.DeriveSeed keys the warm-up on (seed,
+// StreamWarmup, 0) and each run on (seed, StreamValidation+ft, i), so
+// results are independent of worker count and of the other runs.
+func WarmValidationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*ValidationResult], runner.Stats) {
+	bcfg := cfg
+	bcfg.Trace = nil
+	warmSeed := runner.DeriveSeed(seed, runner.StreamWarmup, 0)
+	runSeed := func(i int) int64 { return runner.DeriveSeed(seed, runner.StreamValidation+int(ft), i) }
+	if bcfg.WarmStart.Enabled() {
+		return runner.CampaignWithSetup(runs, cfg.Workers,
+			func() any { return WarmupValidation(bcfg, warmSeed) },
+			func(i int, ws any, rec *runner.Recorder) *ValidationResult {
+				if cfg.runHook != nil {
+					cfg.runHook(i)
+				}
+				r := ValidationFromWarm(ws.(*WarmState), ft, runSeed(i), nil)
+				rec.Report(r.Events)
+				return r
+			}, nil)
+	}
+	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *ValidationResult {
+		if cfg.runHook != nil {
+			cfg.runHook(i)
+		}
+		r := ValidationWarm(bcfg, ft, warmSeed, runSeed(i))
+		rec.Report(r.Events)
+		return r
+	}, nil)
+}

@@ -59,14 +59,28 @@ type channel struct {
 	waiters      []*channel // channels blocked waiting for space here
 }
 
+// shrinkFloor is the smallest backing-array capacity dropHead will shrink.
+// Steady-state lane queues stay below it (LaneBuffer is 4), so the per-flit
+// hot path never reallocates; only queues inflated by an elastic-injection
+// burst pay the copies, and those halve away in O(log cap) steps.
+const shrinkFloor = 16
+
 // dropHead removes the head packet by shifting in place: lane queues are a
 // few entries deep, and keeping the backing array's front intact lets
 // enqueues reuse its capacity instead of reallocating every round trip.
+// Burst-inflated backing arrays are released once the queue drains below a
+// quarter of their capacity, so a congestion spike does not pin peak-sized
+// arrays for the rest of the run.
 func (ch *channel) dropHead() {
 	n := len(ch.q) - 1
 	copy(ch.q, ch.q[1:])
 	ch.q[n] = nil
 	ch.q = ch.q[:n]
+	if c := cap(ch.q); c > shrinkFloor && n < c/4 {
+		q := make([]*Packet, n, c/2)
+		copy(q, ch.q)
+		ch.q = q
+	}
 }
 
 // routerState is the mutable state of one SPIDER router.

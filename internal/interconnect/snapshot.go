@@ -1,0 +1,69 @@
+package interconnect
+
+import "fmt"
+
+// Snapshot is the durable fabric state at a quiescent, pre-fault point:
+// the delivery statistics and the packet flow-id sequence (which seeds
+// trace flow ids and the deterministic in-transit ordering). Everything
+// else — channel queues, in-flight packets, blocked waiters, retained
+// retransmissions — must be empty at a safe point, which Network.Snapshot
+// enforces, so a fork rebuilds it from the topology instead of copying it.
+type Snapshot struct {
+	Stats   Stats
+	FlowSeq uint64
+}
+
+// Snapshot captures the fabric state. It panics unless the fabric is
+// quiescent (no queued, in-flight, blocked, or retained packets) and
+// healthy (no failed routers or links, no isolation discards): machine
+// snapshots are taken before any fault is injected.
+func (n *Network) Snapshot() *Snapshot {
+	n.mustQuiescent()
+	return &Snapshot{Stats: n.Stats, FlowSeq: n.flowSeq}
+}
+
+// Restore installs a snapshot's state on a freshly built Network over the
+// same topology and config.
+func (n *Network) Restore(s *Snapshot) {
+	n.Stats = s.Stats
+	n.flowSeq = s.FlowSeq
+}
+
+// mustQuiescent panics with a description of the first piece of state that
+// makes the fabric unsafe to snapshot.
+func (n *Network) mustQuiescent() {
+	if len(n.retained) > 0 {
+		panic(fmt.Sprintf("interconnect: snapshot with %d retained packets", len(n.retained)))
+	}
+	for link, set := range n.inTransit {
+		if len(set) > 0 {
+			panic(fmt.Sprintf("interconnect: snapshot with %d packets in transit on link %d", len(set), link))
+		}
+	}
+	for l, up := range n.linkUp {
+		if !up {
+			panic(fmt.Sprintf("interconnect: snapshot with failed link %d", l))
+		}
+	}
+	for r, rs := range n.routers {
+		if rs.failed {
+			panic(fmt.Sprintf("interconnect: snapshot with failed router %d", r))
+		}
+		if rs.discardLocal {
+			panic(fmt.Sprintf("interconnect: snapshot with local discard on router %d", r))
+		}
+		if len(rs.nodeWaiters) > 0 {
+			panic(fmt.Sprintf("interconnect: snapshot with blocked deliveries at router %d", r))
+		}
+		for p, ports := range rs.chans {
+			if rs.discard[p] {
+				panic(fmt.Sprintf("interconnect: snapshot with discard on router %d port %d", r, p))
+			}
+			for _, ch := range ports {
+				if len(ch.q) > 0 || ch.serving || ch.blocked || len(ch.waiters) > 0 {
+					panic(fmt.Sprintf("interconnect: snapshot with active channel r%d p%d lane %v", r, p, ch.lane))
+				}
+			}
+		}
+	}
+}

@@ -127,7 +127,13 @@ func MeshShape(n int) (w, h int) {
 }
 
 // New builds and wires a machine.
-func New(cfg Config) *Machine {
+func New(cfg Config) *Machine { return build(cfg, nil) }
+
+// build wires a machine either from scratch (snap == nil) or rehydrated
+// from a frozen snapshot: the engine resumes at the snapshot's clock and
+// RNG position, stats and firewall images are restored, and per-node
+// memory/directory images are shared copy-on-write with the snapshot.
+func build(cfg Config, snap *Snapshot) *Machine {
 	var topo *topology.Topology
 	switch cfg.Topo {
 	case TopoHypercube:
@@ -143,17 +149,29 @@ func New(cfg Config) *Machine {
 		w, h := MeshShape(cfg.Nodes)
 		topo = topology.NewMesh(w, h)
 	}
-	e := sim.NewEngine(cfg.Seed)
-	reg := metrics.NewRegistry()
+	var e *sim.Engine
+	var reg *metrics.Registry
+	oracle := NewOracle()
+	if snap != nil {
+		e = sim.NewEngineFromSnapshot(snap.Engine)
+		reg = snap.Metrics.Clone()
+		oracle = snap.Oracle.Clone()
+	} else {
+		e = sim.NewEngine(cfg.Seed)
+		reg = metrics.NewRegistry()
+	}
 	icfg := interconnect.DefaultConfig()
 	icfg.Reliable = cfg.ReliableInterconnect
 	icfg.Metrics = reg
 	icfg.Trace = cfg.Trace
 	net := interconnect.New(e, topo, icfg)
+	if snap != nil {
+		net.Restore(snap.Net)
+	}
 	space := coherence.AddrSpace{Nodes: cfg.Nodes, MemBytes: cfg.MemBytes, VectorTop: cfg.VectorTop}
 	m := &Machine{
 		Cfg: cfg, E: e, Topo: topo, Net: net, Space: space,
-		Oracle:    NewOracle(),
+		Oracle:    oracle,
 		Metrics:   reg,
 		truth:     topology.NewView(topo),
 		ctrlDead:  map[int]bool{},
@@ -176,10 +194,20 @@ func New(cfg Config) *Machine {
 
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{ID: i}
-		n.Mem = coherence.NewMemory(space.Base(i), cfg.MemBytes)
-		n.Dir = coherence.NewDirectory(cfg.Nodes)
-		n.Cache = coherence.NewCache(cfg.L2Bytes)
+		if snap != nil {
+			ns := &snap.Nodes[i]
+			n.Mem = coherence.ForkMemory(space.Base(i), cfg.MemBytes, ns.Mem)
+			n.Dir = coherence.ForkDirectory(cfg.Nodes, ns.Dir)
+			n.Cache = ns.Cache.Clone()
+		} else {
+			n.Mem = coherence.NewMemory(space.Base(i), cfg.MemBytes)
+			n.Dir = coherence.NewDirectory(cfg.Nodes)
+			n.Cache = coherence.NewCache(cfg.L2Bytes)
+		}
 		n.Ctrl = magic.New(e, net, i, space, n.Dir, n.Mem, n.Cache, cfg.Magic)
+		if snap != nil {
+			n.Ctrl.Restore(snap.Nodes[i].Ctrl)
+		}
 		n.Ctrl.SetDeadDropHandler(func(msg *coherence.Message) {
 			if msg.Type.CarriesData() {
 				m.Oracle.LostLine(msg.Addr)
@@ -189,6 +217,9 @@ func New(cfg Config) *Machine {
 			n.Ctrl.SetFailureUnits(cfg.FailureUnits)
 		}
 		n.CPU = proc.New(e, n.Ctrl, cfg.CPUWindow)
+		if snap != nil {
+			n.CPU.Restore(snap.Nodes[i].CPU)
+		}
 		// Phase transitions are recorded by the agents themselves (both
 		// the flat timeline and the phase spans), so no OnPhase wrapper
 		// is needed here.

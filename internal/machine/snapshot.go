@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"fmt"
+
+	"flashfc/internal/coherence"
+	"flashfc/internal/core"
+	"flashfc/internal/interconnect"
+	"flashfc/internal/magic"
+	"flashfc/internal/metrics"
+	"flashfc/internal/proc"
+	"flashfc/internal/sim"
+	"flashfc/internal/trace"
+)
+
+// NodeSnapshot freezes one node's durable state. Mem and Dir are frozen
+// copy-on-write base images — read-only once taken, safely shared by the
+// source machine and every fork. Cache is a private deep copy (caches are
+// small and mutate heavily, so COW buys nothing there).
+type NodeSnapshot struct {
+	Mem   map[coherence.Addr]uint64
+	Dir   map[coherence.Addr]*coherence.DirEntry
+	Cache *coherence.Cache
+	Ctrl  *magic.Snapshot
+	CPU   proc.Snapshot
+}
+
+// Snapshot is a frozen machine at a quiescent, pre-fault point. It is
+// immutable once taken: FromSnapshot may be called on it any number of
+// times, concurrently, and each call yields an independent machine that
+// continues bit-identically to the source. The source machine itself also
+// continues unaffected (its memory and directory images turn copy-on-write
+// over the shared frozen bases).
+//
+// Not captured: Cfg.Trace (pass a tracer to FromSnapshot instead) and
+// OnAllRecovered (re-install on the fork if needed). Callback function
+// values inside Cfg (Recovery.OnEnter etc.) are carried as-is and must not
+// close over per-run state.
+type Snapshot struct {
+	Cfg     Config
+	Engine  sim.EngineSnapshot
+	Net     *interconnect.Snapshot
+	Nodes   []NodeSnapshot
+	Oracle  *Oracle
+	Metrics *metrics.Registry
+	Trace   *trace.State
+}
+
+// Snapshot captures the machine's full durable state. The machine must be
+// quiescent and pre-fault: no pending events, no injected faults, no
+// recovery in progress or completed, every agent idle in epoch 0. Each
+// layer asserts its own share of that contract and panics with a
+// description of what is still in flight; the returned snapshot is then
+// complete by construction — nothing transient existed to lose.
+func (m *Machine) Snapshot() *Snapshot {
+	if p := m.E.Pending(); p != 0 {
+		panic(fmt.Sprintf("machine: snapshot with %d events pending", p))
+	}
+	switch {
+	case len(m.ctrlDead) > 0:
+		panic(fmt.Sprintf("machine: snapshot with %d dead controllers", len(m.ctrlDead)))
+	case m.recovered || m.lastEpoch != 0:
+		panic(fmt.Sprintf("machine: snapshot after recovery (epoch %d)", m.lastEpoch))
+	case len(m.reports) > 0 || len(m.expecting) > 0:
+		panic("machine: snapshot with recovery in progress")
+	}
+	for i, up := range m.truth.RouterUp {
+		if !up {
+			panic(fmt.Sprintf("machine: snapshot with router %d down", i))
+		}
+	}
+	for l, up := range m.truth.LinkUp {
+		if !up {
+			panic(fmt.Sprintf("machine: snapshot with link %d down", l))
+		}
+	}
+	cfg := m.Cfg
+	cfg.Trace = nil
+	s := &Snapshot{
+		Cfg:     cfg,
+		Engine:  m.E.Snapshot(),
+		Net:     m.Net.Snapshot(),
+		Nodes:   make([]NodeSnapshot, m.Cfg.Nodes),
+		Oracle:  m.Oracle.Clone(),
+		Metrics: m.Metrics.Clone(),
+		Trace:   m.Cfg.Trace.SnapshotState(),
+	}
+	for i, n := range m.Nodes {
+		if ph, ep := n.Agent.Phase(), n.Agent.Epoch(); ph != core.PhaseIdle || ep != 0 {
+			panic(fmt.Sprintf("machine: snapshot with agent %d in phase %v epoch %d", i, ph, ep))
+		}
+		s.Nodes[i] = NodeSnapshot{
+			Mem:   n.Mem.Freeze(),
+			Dir:   n.Dir.Freeze(),
+			Cache: n.Cache.Clone(),
+			Ctrl:  n.Ctrl.Snapshot(),
+			CPU:   n.CPU.Snapshot(),
+		}
+	}
+	return s
+}
+
+// FromSnapshot rehydrates an independent machine from a snapshot in
+// O(non-memory state): memory and directory images are shared
+// copy-on-write with the snapshot rather than copied. tr, which may be
+// nil, becomes the fork's tracer; its contents are overwritten with the
+// snapshot's trace state so the fork's timeline continues seamlessly from
+// the warm-up's.
+func FromSnapshot(s *Snapshot, tr *trace.Tracer) *Machine {
+	cfg := s.Cfg
+	cfg.Trace = tr
+	tr.Restore(s.Trace)
+	return build(cfg, s)
+}

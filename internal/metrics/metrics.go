@@ -202,6 +202,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Clone returns a deep copy of the registry: a forked machine resumes its
+// instruments at the source's values without sharing them with the source
+// or with sibling forks. A nil registry clones to nil (metrics disabled).
+func (r *Registry) Clone() *Registry {
+	if r == nil {
+		return nil
+	}
+	n := NewRegistry()
+	for name, c := range r.counters {
+		n.counters[name] = &Counter{v: c.v}
+	}
+	for name, g := range r.gauges {
+		n.gauges[name] = &Gauge{v: g.v}
+	}
+	for name, h := range r.hists {
+		n.hists[name] = &Histogram{
+			count: h.count, sum: h.sum, min: h.min, max: h.max,
+			buckets: append([]uint64(nil), h.buckets...),
+		}
+	}
+	return n
+}
+
 // Bucket is one non-empty histogram bucket: N observations with value
 // <= Le nanoseconds. Le == -1 marks the overflow bucket.
 type Bucket struct {

@@ -7,6 +7,8 @@
 package proc
 
 import (
+	"fmt"
+
 	"flashfc/internal/coherence"
 	"flashfc/internal/magic"
 	"flashfc/internal/sim"
@@ -159,6 +161,29 @@ func (c *CPU) issue() {
 			c.Ctrl.Write(op.Addr, op.Token, done)
 		}
 	}
+}
+
+// Snapshot is the durable processor state at a quiescent point: the
+// statistics and the pause flag. Everything else (the issue queue, in-
+// flight records) must be empty, which Snapshot enforces.
+type Snapshot struct {
+	Stats  Stats
+	Paused bool
+}
+
+// Snapshot captures the processor state, panicking if operations are
+// still queued or in flight.
+func (c *CPU) Snapshot() Snapshot {
+	if c.inflight > 0 || len(c.queue) > 0 {
+		panic(fmt.Sprintf("proc: snapshot of CPU %d with %d in flight, %d queued", c.ID, c.inflight, len(c.queue)))
+	}
+	return Snapshot{Stats: c.Stats, Paused: c.paused}
+}
+
+// Restore installs a snapshot's state on a freshly built CPU.
+func (c *CPU) Restore(s Snapshot) {
+	c.Stats = s.Stats
+	c.paused = s.Paused
 }
 
 // Speculate issues a wrong-path exclusive fetch of addr whose result is

@@ -100,6 +100,22 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 // completes — calls are serialized but arrive in completion order, not
 // index order.
 func Campaign[T any](n, workers int, fn func(i int, rec *Recorder) T, observe func(i int, r Result[T])) ([]Result[T], Stats) {
+	return CampaignWithSetup(n, workers, nil, func(i int, _ any, rec *Recorder) T {
+		return fn(i, rec)
+	}, observe)
+}
+
+// CampaignWithSetup is Campaign with per-worker shared state: each worker
+// runs setup() lazily before its first run and passes the result to every
+// run it executes. The warm-start drivers use it to build one machine
+// snapshot per worker and fork every run from it.
+//
+// The bit-identity guarantee extends to the shared state only if setup is
+// deterministic and runs never mutate the state they receive (forking,
+// not sharing). A panic in setup is charged to the run that triggered it —
+// that run fails like any panicking run — and setup is retried on the
+// worker's next run. setup may be nil.
+func CampaignWithSetup[T any](n, workers int, setup func() any, fn func(i int, ws any, rec *Recorder) T, observe func(i int, r Result[T])) ([]Result[T], Stats) {
 	start := time.Now()
 	if n <= 0 {
 		return nil, Stats{}
@@ -107,9 +123,25 @@ func Campaign[T any](n, workers int, fn func(i int, rec *Recorder) T, observe fu
 	workers = Workers(workers, n)
 	results := make([]Result[T], n)
 
+	// worker wraps fn with the lazily-built per-worker state; the returned
+	// closure is used by exactly one goroutine, so the captured state needs
+	// no locking. Setup runs inside runOne's panic isolation.
+	worker := func() func(i int, rec *Recorder) T {
+		var ws any
+		ready := setup == nil
+		return func(i int, rec *Recorder) T {
+			if !ready {
+				ws = setup()
+				ready = true
+			}
+			return fn(i, ws, rec)
+		}
+	}
+
 	if workers == 1 {
+		w := worker()
 		for i := range results {
-			results[i] = runOne(i, fn)
+			results[i] = runOne(i, w)
 			if observe != nil {
 				observe(i, results[i])
 			}
@@ -125,12 +157,13 @@ func Campaign[T any](n, workers int, fn func(i int, rec *Recorder) T, observe fu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			run := worker()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				results[i] = runOne(i, fn)
+				results[i] = runOne(i, run)
 				if observe != nil {
 					mu.Lock()
 					observe(i, results[i])

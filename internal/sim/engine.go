@@ -100,6 +100,8 @@ type Engine struct {
 	// sim.heap_compactions metric stays bit-identical across the engine
 	// swap.
 	total       int
+	seed        int64
+	src         *countingSource
 	rng         *rand.Rand
 	stopped     bool
 	fired       uint64
@@ -120,7 +122,35 @@ type Engine struct {
 // NewEngine returns an engine whose clock starts at zero and whose random
 // stream is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Engine{seed: seed, src: src, rng: rand.New(src)}
+}
+
+// countingSource wraps the standard PRNG source and counts state advances.
+// Both Int63 and Uint64 step the underlying generator exactly once, so a
+// snapshot can record the draw count and a fork can replay it with Uint64
+// alone, regardless of which rand.Rand methods consumed the stream. The
+// wrapper delegates both source methods, so the produced stream is
+// bit-identical to an unwrapped rand.NewSource (pinned seed goldens are
+// unaffected).
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
 }
 
 // Now returns the current simulated time.

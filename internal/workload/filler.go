@@ -46,6 +46,16 @@ func NewFiller(m *machine.Machine) *Filler {
 	}
 }
 
+// NewFillerSeeded returns a filler drawing from its own seed rather than
+// the machine's. Forked runs use it for the per-run post-fork burst: every
+// fork of a warm snapshot replays an identical warm-up, so the burst is the
+// only place the run seed enters the workload.
+func NewFillerSeeded(m *machine.Machine, seed int64) *Filler {
+	f := NewFiller(m)
+	f.rng = rand.New(rand.NewSource(seed + 0x5eed))
+	return f
+}
+
 // Start submits the fill operations on every node; done fires when all
 // processors have completed their fills.
 func (f *Filler) Start(done func()) {

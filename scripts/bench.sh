@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# bench.sh — refresh BENCH_PR4.json, the repo's performance trajectory record.
+# bench.sh — refresh BENCH_PR4.json and BENCH_PR5.json, the repo's
+# performance trajectory record.
 #
-# Runs the PR 4 campaign benchmarks (16-node and 8-node node-failure
+# First runs the PR 4 campaign benchmarks (16-node and 8-node node-failure
 # validation campaigns plus a Hive end-to-end campaign), keeps the best
 # events/sec of each across repetitions, and emits BENCH_PR4.json with
 # events/sec, allocs/event, and the speedup against the frozen pre-PR4
-# heap-engine numbers in scripts/bench_baseline.json.
+# heap-engine numbers in scripts/bench_baseline.json. Then runs the PR 5
+# warm-start benchmarks and emits BENCH_PR5.json with the warm-vs-cold
+# campaign speedup and the fork-vs-warmup cost ratio.
 #
-#   scripts/bench.sh                  # writes BENCH_PR4.json at the repo root
-#   scripts/bench.sh out.json         # writes elsewhere
+#   scripts/bench.sh                  # writes both files at the repo root
+#   scripts/bench.sh pr4.json pr5.json   # writes elsewhere
 #   BENCH_TIME=5x BENCH_COUNT=5 scripts/bench.sh   # longer, steadier runs
 #
-# The acceptance bar recorded by the PR: BenchmarkPR4Validation16 must show
-# speedup_vs_baseline >= 1.5. CI only validates the file's schema (the
-# shared runners are too noisy for a perf gate); refresh on quiet hardware.
+# The acceptance bars recorded by the PRs: BenchmarkPR4Validation16 must show
+# speedup_vs_baseline >= 1.5, and warm_speedup_vs_cold must be >= 1.5. Either
+# below the bar exits 2 after both files are written. CI only validates the
+# files' schemas (the shared runners are too noisy for a perf gate); refresh
+# on quiet hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,8 +90,85 @@ jq -n \
 echo "wrote $out" >&2
 jq '{commit, benchmarks: (.benchmarks | map_values({events_per_sec, allocs_per_event, speedup_vs_baseline}))}' "$out" >&2
 
-# The tentpole's bar: >= 1.5x on the 16-node validation campaign.
+# Acceptance bars are reported as exit 2 after both files are written.
+rc=0
+
+# The PR 4 bar: >= 1.5x on the 16-node validation campaign.
 jq -e '.benchmarks.BenchmarkPR4Validation16.speedup_vs_baseline >= 1.5' "$out" > /dev/null || {
   echo "bench.sh: WARNING — Validation16 speedup below the 1.5x acceptance bar" >&2
-  exit 2
+  rc=2
 }
+
+# --- PR 5: warm-start snapshot/fork numbers -> BENCH_PR5.json ---------------
+#
+# The Warm/Cold pair runs the identical campaign with warm-start sharing on
+# and off (bit-identical results), so cold_ns/warm_ns is exactly the
+# amortization gain; Fork16/Warmup16 price one fork against the warm-up it
+# replaces. Acceptance: warm_speedup_vs_cold >= 1.5.
+out5="${2:-BENCH_PR5.json}"
+raw5="$(mktemp)"
+trap 'rm -f "$raw" "$raw5"' EXIT
+
+cmd5=(go test -run '^$' -bench BenchmarkPR5 -benchmem -benchtime "$benchtime" -count "$count" .)
+echo "running: ${cmd5[*]}" >&2
+"${cmd5[@]}" | tee "$raw5" >&2
+
+# One record per benchmark: the repetition with the lowest ns/op.
+summary5="$(awk '
+  /^BenchmarkPR5/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = evs = evop = allocs = 0
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op")         ns     = $i
+      if ($(i + 1) == "sim-events/s")  evs    = $i
+      if ($(i + 1) == "sim-events/op") evop   = $i
+      if ($(i + 1) == "allocs/op")     allocs = $i
+    }
+    if (!(name in best) || ns < best[name]) {
+      best[name] = ns
+      line[name] = sprintf("{\"name\":\"%s\",\"ns_per_op\":%d,\"events_per_sec\":%d,\"sim_events_per_op\":%d,\"allocs_per_op\":%d}",
+                           name, ns, evs, evop, allocs)
+    }
+  }
+  END { for (n in line) print line[n] }
+' "$raw5")"
+
+if [ -z "$summary5" ]; then
+  echo "bench.sh: no BenchmarkPR5 results parsed" >&2
+  exit 1
+fi
+
+jq -n \
+  --arg engine "copy-on-write machine snapshot/fork warm-start (PR5)" \
+  --arg commit "$commit" \
+  --arg host "${host:-unknown}" \
+  --arg command "${cmd5[*]}" \
+  --slurpfile pr4 "$out" \
+  --slurpfile runs5 <(echo "$summary5") \
+  '($runs5 | map({key: .name, value: del(.name)}) | from_entries) as $b |
+   {
+    engine: $engine,
+    commit: $commit,
+    host: $host,
+    command: $command,
+    pr4_validation16_events_per_sec: $pr4[0].benchmarks.BenchmarkPR4Validation16.events_per_sec,
+    benchmarks: $b,
+    warm_speedup_vs_cold: (
+      ($b.BenchmarkPR5ColdValidation16.ns_per_op / $b.BenchmarkPR5WarmValidation16.ns_per_op * 100 | round) / 100
+    ),
+    fork_vs_warmup_cost: (
+      ($b.BenchmarkPR5Fork16.ns_per_op / $b.BenchmarkPR5Warmup16.ns_per_op * 1000 | round) / 1000
+    )
+  }' > "$out5"
+
+echo "wrote $out5" >&2
+jq '{commit, warm_speedup_vs_cold, fork_vs_warmup_cost}' "$out5" >&2
+
+# The PR 5 bar: warm-start sharing >= 1.5x over per-run warm-up.
+jq -e '.warm_speedup_vs_cold >= 1.5' "$out5" > /dev/null || {
+  echo "bench.sh: WARNING — warm-start speedup below the 1.5x acceptance bar" >&2
+  rc=2
+}
+
+exit "$rc"
