@@ -1,0 +1,48 @@
+package flashfc_test
+
+// The PR 6 benchmark suite: partitioned-vs-sequential numbers behind
+// BENCH_PR6.json. Each Seq/Par pair runs the identical fill scenario — the
+// 256-node and 1024-node meshes from the partitioned scaling scenario —
+// once on the classic sequential engine (-partitions 0) and once on the
+// partitioned engine with 4 region workers. The wall-clock ratio of a pair
+// is the single-machine partitioned speedup bench.sh records. The speedup
+// comes from two effects: region workers run windows concurrently (on
+// hosts with free cores; GOMAXPROCS caps it), and each region's smaller
+// event wheel and hotter working set make even one worker faster than one
+// global scheduler at these machine sizes.
+
+import (
+	"testing"
+
+	"flashfc"
+)
+
+func benchPR6Fill(b *testing.B, nodes, partitions int) {
+	b.Helper()
+	cfg := flashfc.DefaultPartitionConfig()
+	cfg.Nodes = nodes
+	cfg.Partitions = partitions
+	var events float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := flashfc.RunPartitionFill(cfg, 7)
+		if !r.OK() {
+			b.Fatalf("fill incomplete: %s", r.Note)
+		}
+		events += float64(r.Events)
+	}
+	b.StopTimer()
+	b.ReportMetric(events/float64(b.N), "sim-events/op")
+	b.ReportMetric(events/b.Elapsed().Seconds(), "sim-events/s")
+}
+
+// BenchmarkPR6Seq256 / BenchmarkPR6Par256: the 256-node (16×16 mesh,
+// 16 regions) fill on the sequential vs the 4-worker partitioned engine.
+func BenchmarkPR6Seq256(b *testing.B) { benchPR6Fill(b, 256, 0) }
+func BenchmarkPR6Par256(b *testing.B) { benchPR6Fill(b, 256, 4) }
+
+// BenchmarkPR6Seq1024 / BenchmarkPR6Par1024: the headline 1024-node
+// (32×32 mesh, 16 regions) scenario — the speedup bench.sh gates on.
+func BenchmarkPR6Seq1024(b *testing.B) { benchPR6Fill(b, 1024, 0) }
+func BenchmarkPR6Par1024(b *testing.B) { benchPR6Fill(b, 1024, 4) }

@@ -61,7 +61,7 @@ func main() {
 	nodes := flag.Int("nodes", 8, "number of nodes")
 	topo := flag.String("topo", "mesh", "topology: mesh or hypercube")
 	faultName := flag.String("fault", "node",
-		"fault: node, router, link, loop, false-alarm, powerloss, cablecut")
+		"fault: node, router, link, loop, false-alarm, powerloss, cablecut, boundary-link, none")
 	mem := flag.Uint64("mem", 256<<10, "memory bytes per node")
 	l2 := flag.Uint64("l2", 64<<10, "L2 cache bytes")
 	fill := flag.Int("fill", 192, "cache-fill lines per node")
@@ -75,12 +75,15 @@ func main() {
 		hout = os.Stderr
 	}
 
+	cf.WarnOversubscribed()
 	cfg := flashfc.DefaultValidationConfig()
 	cfg.Nodes = *nodes
 	cfg.MemBytes = *mem
 	cfg.L2Bytes = *l2
 	cfg.FillLines = *fill
 	cfg.Stride = *stride
+	cfg.Partitions = cf.Partitions
+	cfg.RegionLinkExtra = flashfc.Time(cf.RegionExtra)
 	var tracer *flashfc.Tracer
 	if cf.WantTrace() {
 		if cf.Runs > 1 {
@@ -100,6 +103,9 @@ func main() {
 	switch *faultName {
 	case "powerloss", "cablecut":
 		runCompound(cfg, *faultName, cf.Seed, topts, cf.Metrics, cf.MetricsJSON)
+		return
+	case "none", "boundary-link":
+		runPartition(cfg, *faultName, *fill, cf, topts)
 		return
 	}
 	var ft flashfc.FaultType
@@ -240,6 +246,59 @@ func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string
 		exit(1)
 	}
 	fmt.Fprintf(hout, "result:     PASS — all %d faults contained, no data anomalies\n", cf.Runs)
+}
+
+// runPartition runs the partitioned-simulation scenarios: -fault none is
+// the fault-free fill (the scenario the PR6 speedup benchmark times), and
+// -fault boundary-link fails an inter-region link mid-fill and recovers
+// across the cut. Both honor -partitions (0 = sequential engine) and are
+// bit-identical at any partition count.
+func runPartition(vcfg flashfc.ValidationConfig, kind string, fill int, cf *cliflags.Flags, topts traceOpts) {
+	if cf.Runs > 1 {
+		fmt.Fprintln(os.Stderr, "warning: -fault none/boundary-link run single scenarios; -runs ignored")
+	}
+	cfg := flashfc.DefaultPartitionConfig()
+	cfg.Nodes = vcfg.Nodes
+	cfg.MemBytes = vcfg.MemBytes
+	cfg.L2Bytes = vcfg.L2Bytes
+	cfg.OpsPerNode = fill
+	cfg.Partitions = cf.Partitions
+	cfg.RegionLinkExtra = vcfg.RegionLinkExtra
+	cfg.Trace = topts.tracer
+
+	if kind == "boundary-link" {
+		r := flashfc.RunPartitionBoundaryFault(cfg, cf.Seed)
+		fmt.Fprintf(hout, "fault:      %v (inter-region boundary link)\n", r.Fault)
+		fmt.Fprintf(hout, "recovered:  %v\n", r.Recovered)
+		if r.Recovered {
+			p := r.Phases
+			fmt.Fprintf(hout, "phases:     P1=%v  P1,2=%v  P1,2,3=%v  total=%v\n", p.P1, p.P12, p.P123, p.Total)
+			fmt.Fprintf(hout, "verify:     %v\n", r.Verify)
+		}
+		emitTrace(topts)
+		emitMetrics(r.Metrics, cf.Metrics, cf.MetricsJSON)
+		if r.OK() {
+			fmt.Fprintln(hout, "result:     PASS — boundary fault contained across the region cut")
+			return
+		}
+		fmt.Fprintf(hout, "result:     FAIL — %s\n", r.Note)
+		exit(1)
+	}
+
+	r := flashfc.RunPartitionFill(cfg, cf.Seed)
+	fmt.Fprintf(hout, "scenario:   %d-node fill, %d regions, %d partition workers\n",
+		cfg.Nodes, r.Regions, cfg.Partitions)
+	fmt.Fprintf(hout, "workload:   %d/%d accesses completed at t=%v\n", r.Completed, r.Total, r.Now)
+	fmt.Fprintf(hout, "engine:     %d events, %d barriers, %d cross-region merges\n",
+		r.Events, r.Barriers, r.Merged)
+	emitTrace(topts)
+	emitMetrics(r.Metrics, cf.Metrics, cf.MetricsJSON)
+	if r.OK() {
+		fmt.Fprintln(hout, "result:     PASS — fill completed")
+		return
+	}
+	fmt.Fprintf(hout, "result:     FAIL — %s\n", r.Note)
+	exit(1)
 }
 
 // runCompound injects a §4.1 compound fault (power-supply loss of two

@@ -323,6 +323,11 @@ type (
 	// snapshot (see WarmupValidation / ValidationFromWarm in
 	// internal/experiments).
 	WarmState = experiments.WarmState
+	// PartitionConfig shapes a partitioned-simulation scenario (the
+	// 1024-node fill and the boundary-link fault runs).
+	PartitionConfig = experiments.PartitionConfig
+	// PartitionResult is one partitioned fill run.
+	PartitionResult = experiments.PartitionResult
 )
 
 // Warm-start modes (see WarmStartMode).
@@ -354,6 +359,22 @@ const StreamWarmup = runner.StreamWarmup
 // RunValidation performs one §5.2 validation run.
 func RunValidation(cfg ValidationConfig, ft FaultType, seed int64) *ValidationResult {
 	return experiments.Validation(cfg, ft, seed)
+}
+
+// DefaultPartitionConfig returns the 1024-node partitioned scaling scenario.
+func DefaultPartitionConfig() PartitionConfig { return experiments.DefaultPartitionConfig() }
+
+// RunPartitionFill runs the fault-free partitioned fill scenario: region
+// schedulers execute conservative lookahead windows on cfg.Partitions
+// workers, bit-identical at any worker count.
+func RunPartitionFill(cfg PartitionConfig, seed int64) *PartitionResult {
+	return experiments.PartitionFill(cfg, seed)
+}
+
+// RunPartitionBoundaryFault fails an inter-region link mid-fill on a
+// partitioned machine and runs recovery across the cut.
+func RunPartitionBoundaryFault(cfg PartitionConfig, seed int64) *ValidationResult {
+	return experiments.PartitionBoundaryFault(cfg, seed)
 }
 
 // RunValidationBatch runs a parallel batch of validation experiments of

@@ -6,8 +6,16 @@
 //
 //	-seed N            base random seed
 //	-runs N            runs per campaign/batch
-//	-workers N         worker goroutines (0 = one per CPU); -parallel is a
-//	                   compatible alias
+//	-workers N         run-level worker goroutines (0 = one per CPU):
+//	                   independent campaign runs in parallel; -parallel is
+//	                   a compatible alias
+//	-partitions N      intra-machine worker goroutines: region schedulers
+//	                   of ONE machine in parallel (0 = classic sequential
+//	                   engine). Orthogonal to -parallel: the two multiply,
+//	                   and a warning is printed when the product exceeds
+//	                   GOMAXPROCS
+//	-region-extra D    extra inter-region wire latency of a partitioned
+//	                   machine (0 = the machine default)
 //	-metrics           print the aggregate metric registry
 //	-metrics-json      emit the metric snapshot as JSON on stdout
 //	-trace             print the recovery event timeline (single runs)
@@ -42,6 +50,13 @@ type Flags struct {
 	Seed    int64
 	Runs    int
 	Workers int
+	// Partitions is the intra-machine worker count: how many goroutines
+	// multiplex one machine's region schedulers. 0 keeps the classic
+	// sequential engine. Results are bit-identical at every value.
+	Partitions int
+	// RegionExtra is the extra inter-region wire latency (nanoseconds) of
+	// a partitioned machine; 0 uses the machine default.
+	RegionExtra int64
 
 	Metrics     bool
 	MetricsJSON bool
@@ -63,8 +78,10 @@ func Register(fs *flag.FlagSet, def Defaults) *Flags {
 	f := &Flags{}
 	fs.Int64Var(&f.Seed, "seed", 1, "base random seed")
 	fs.IntVar(&f.Runs, "runs", def.Runs, "independent runs per campaign")
-	fs.IntVar(&f.Workers, "workers", 0, "campaign worker goroutines (0 = one per CPU)")
+	fs.IntVar(&f.Workers, "workers", 0, "run-level campaign worker goroutines (0 = one per CPU)")
 	fs.IntVar(&f.Workers, "parallel", 0, "alias for -workers")
+	fs.IntVar(&f.Partitions, "partitions", 0, "intra-machine region workers (0 = sequential engine; bit-identical at any value)")
+	fs.Int64Var(&f.RegionExtra, "region-extra", 0, "extra inter-region wire latency in `ns` for partitioned machines (0 = default)")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print the aggregate metric registry")
 	fs.BoolVar(&f.MetricsJSON, "metrics-json", false, "emit the metric snapshot as stable-key JSON on stdout")
 	fs.BoolVar(&f.Trace, "trace", false, "print the recovery event timeline (single runs)")
@@ -133,6 +150,29 @@ func (f *Flags) StartProfiles() func() {
 			}
 		}
 	}
+}
+
+// WarnOversubscribed prints a warning when the run-level and intra-machine
+// worker counts multiply past the host's scheduler width: -parallel
+// parallelizes across runs and -partitions within each run's machine, so a
+// campaign runs up to parallel×partitions busy goroutines. Oversubscribing
+// is correct (results never depend on worker counts) but slower. It reports
+// whether it warned.
+func (f *Flags) WarnOversubscribed() bool {
+	runLevel := f.Workers
+	if runLevel <= 0 {
+		runLevel = runtime.GOMAXPROCS(0)
+	}
+	if f.Runs <= 1 {
+		runLevel = 1 // single runs use no run-level workers
+	}
+	if f.Partitions > 0 && runLevel*f.Partitions > runtime.GOMAXPROCS(0) {
+		fmt.Fprintf(os.Stderr,
+			"warning: -parallel %d × -partitions %d = %d workers exceeds GOMAXPROCS %d; results are identical but oversubscription costs speed\n",
+			runLevel, f.Partitions, runLevel*f.Partitions, runtime.GOMAXPROCS(0))
+		return true
+	}
+	return false
 }
 
 // WantTrace reports whether any trace output was requested.

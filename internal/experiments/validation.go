@@ -59,6 +59,15 @@ type ValidationConfig struct {
 	// ValidationBatch) may use; 0 means one per CPU. Single runs ignore
 	// it. Any worker count yields bit-identical results.
 	Workers int
+	// Partitions, when > 0, runs the machine on the partitioned engine
+	// with that many intra-machine workers. Fault injection forces the
+	// deterministic global interleave, so validation results are
+	// bit-identical at any Partitions value (including 0, up to the
+	// partitioned fabric's longer inter-region links).
+	Partitions int
+	// RegionLinkExtra overrides the extra inter-region wire latency of a
+	// partitioned machine; 0 uses machine.DefaultRegionLinkExtra.
+	RegionLinkExtra sim.Time
 	// WarmStart selects how batch drivers amortize the cache-fill warm-up:
 	// the default (Auto) builds one warmed machine snapshot per worker and
 	// forks every run from it; Off rebuilds the warm state per run. Both
@@ -103,11 +112,16 @@ func Validation(cfg ValidationConfig, ft fault.Type, seed int64) *ValidationResu
 	mc.MemBytes = cfg.MemBytes
 	mc.L2Bytes = cfg.L2Bytes
 	mc.Trace = cfg.Trace
+	mc.Partitions = cfg.Partitions
+	mc.RegionLinkExtra = cfg.RegionLinkExtra
 	m := machine.New(mc)
 	f := fault.Random(m.E.Rand(), ft, m.Topo, 1)
 	res := &ValidationResult{Fault: f}
 	defer func() {
 		res.Events = m.E.EventsFired()
+		if m.P != nil {
+			res.Events = m.P.EventsFired()
+		}
 		res.Metrics = m.MetricsSnapshot()
 	}()
 
@@ -124,8 +138,8 @@ func Validation(cfg ValidationConfig, ft fault.Type, seed int64) *ValidationResu
 	filler.Start(func() { fillDone = true })
 	// Drive the fill; the fault lands mid-fill, and the fill operations
 	// double as the detection traffic for quiet faults.
-	for !fillDone && m.E.Now() < cfg.Deadline {
-		m.E.RunUntil(m.E.Now() + sim.Millisecond)
+	for !fillDone && m.Now() < cfg.Deadline {
+		m.Advance(m.Now() + sim.Millisecond)
 	}
 	if !injected {
 		// Degenerate fill (everything completed in one batch): inject

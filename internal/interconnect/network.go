@@ -3,6 +3,7 @@ package interconnect
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"flashfc/internal/metrics"
 	"flashfc/internal/sim"
@@ -35,6 +36,10 @@ type Config struct {
 	// (inject, per-hop route, deliver, every kind of drop) linked by the
 	// packet's flow id. Nil disables tracing at zero cost.
 	Trace *trace.Tracer
+	// Partition, when non-nil, spreads the fabric across the region-local
+	// engines of a partitioned simulation (see partition.go). Nil keeps
+	// the classic single-engine fabric, bit-for-bit.
+	Partition *Partition
 }
 
 // DefaultConfig returns the standard fabric parameters.
@@ -57,6 +62,12 @@ type channel struct {
 	blocked      bool
 	blockedAt    sim.Time
 	waiters      []*channel // channels blocked waiting for space here
+	// inTransit is the set of packets currently being serviced across this
+	// channel's link, used to truncate in-flight packets on link failure.
+	// Tracking it per channel (rather than per link) keeps every map owned
+	// by exactly one region in partitioned mode: a boundary link's two
+	// directions belong to different regions.
+	inTransit map[*Packet]int // pkt -> target router
 }
 
 // shrinkFloor is the smallest backing-array capacity dropHead will shrink.
@@ -101,7 +112,11 @@ type routerState struct {
 	nodeWaiters []*channel
 }
 
-// Stats counts fabric-level events of interest to the experiments.
+// Stats counts fabric-level events of interest to the experiments. All
+// fields are updated with atomic adds: in partitioned mode concurrent
+// region workers share one Stats, and because the updates are commutative
+// sums the totals are identical at any worker count. Read between windows
+// (or after the run), plain loads are safe.
 type Stats struct {
 	Injected           uint64
 	Delivered          uint64
@@ -123,9 +138,6 @@ type Network struct {
 	routers   []*routerState
 	linkUp    []bool
 	endpoints []Endpoint
-	// inTransit[link] is the set of packets currently being serviced
-	// across the link, used to truncate in-flight packets on link failure.
-	inTransit map[int]map[*Packet]int // link -> pkt -> target router
 	Stats     Stats
 
 	// OnLost, if set, observes every packet whose content is destroyed
@@ -147,8 +159,12 @@ type Network struct {
 
 	// flowSeq numbers packets as they are injected; the sequence doubles
 	// as the trace flow id and as a deterministic order for packets
-	// recovered from unordered sets (see FailLink).
-	flowSeq uint64
+	// recovered from unordered sets (see FailLink). Partitioned fabrics
+	// use flowSeqR instead: one counter per region, region-tagged in the
+	// high bits, so concurrent injections never contend and ids stay a
+	// pure function of each region's deterministic execution.
+	flowSeq  uint64
+	flowSeqR []uint64
 
 	// Pre-bound event callbacks: the method values are bound once in New
 	// so the per-flit hop, loopback-delivery and head-drop schedulings
@@ -156,13 +172,16 @@ type Network struct {
 	arriveFn   sim.Callback
 	deliverFn  sim.Callback
 	headDropFn sim.Callback
+	launchFn   sim.Callback
+	ingressFn  sim.Callback
+	retryFn    sim.Callback
 }
 
 // tracePkt records one packet-lifecycle trace point at the given router or
 // node. No-op (and allocation-free) when tracing is disabled.
 func (n *Network) tracePkt(name string, at int, p *Packet) {
 	if tr := n.cfg.Trace; tr != nil {
-		tr.Point(n.E.Now(), at, "pkt", name, p.flow, int64(p.Dst), int64(p.Lane))
+		tr.Point(n.now(at), at, "pkt", name, p.flow, int64(p.Dst), int64(p.Lane))
 	}
 }
 
@@ -214,11 +233,16 @@ func New(e *sim.Engine, topo *topology.Topology, cfg Config) *Network {
 		routers:   make([]*routerState, topo.Routers()),
 		linkUp:    make([]bool, len(topo.Links())),
 		endpoints: make([]Endpoint, topo.Routers()),
-		inTransit: make(map[int]map[*Packet]int),
 	}
 	n.arriveFn = n.arriveEv
 	n.deliverFn = n.deliverEv
 	n.headDropFn = n.headDropEv
+	n.launchFn = n.launchEv
+	n.ingressFn = n.ingressEv
+	n.retryFn = n.retryEv
+	if pt := cfg.Partition; pt != nil {
+		n.flowSeqR = make([]uint64, len(pt.Engines))
+	}
 	for i := range n.linkUp {
 		n.linkUp[i] = true
 	}
@@ -285,7 +309,7 @@ func (n *Network) SetDiscard(r, p int, on bool) {
 					n.lost(pk)
 				}
 				ch.q = ch.q[:1]
-				n.Stats.DroppedIsolation += uint64(dropped - 1)
+				atomic.AddUint64(&n.Stats.DroppedIsolation, uint64(dropped-1))
 			}
 		} else {
 			for _, pk := range ch.q {
@@ -294,7 +318,7 @@ func (n *Network) SetDiscard(r, p int, on bool) {
 			}
 			ch.q = ch.q[:0]
 			ch.blocked = false
-			n.Stats.DroppedIsolation += uint64(dropped)
+			atomic.AddUint64(&n.Stats.DroppedIsolation, uint64(dropped))
 		}
 		n.wakeWaiters(ch)
 	}
@@ -322,7 +346,7 @@ func (n *Network) FailRouter(r int) {
 	rs.failed = true
 	for p := range rs.chans {
 		for _, ch := range rs.chans[p] {
-			n.Stats.DroppedRouter += uint64(len(ch.q))
+			atomic.AddUint64(&n.Stats.DroppedRouter, uint64(len(ch.q)))
 			for _, pk := range ch.q {
 				n.tracePkt("drop-router", r, pk)
 				n.lost(pk)
@@ -345,18 +369,30 @@ func (n *Network) FailLink(l int) {
 		return
 	}
 	n.linkUp[l] = false
-	// The in-transit set is unordered; process its packets in injection
-	// order so retention (reliable mode) and trace points come out in a
-	// deterministic sequence.
-	victims := make([]*Packet, 0, len(n.inTransit[l]))
-	for pkt := range n.inTransit[l] {
-		victims = append(victims, pkt)
+	// In-transit tracking lives on the link's two sending channels (one
+	// per direction, all lanes). The sets are unordered; process their
+	// packets in injection order so retention (reliable mode) and trace
+	// points come out in a deterministic sequence.
+	var victims []*Packet
+	target := map[*Packet]int{}
+	lk := n.Topo.Links()[l]
+	for _, r := range [2]int{lk.A, lk.B} {
+		p := n.Topo.PortTo(r, lk.A+lk.B-r)
+		if p < 0 {
+			continue
+		}
+		for _, ch := range n.routers[r].chans[p] {
+			for pkt, far := range ch.inTransit {
+				victims = append(victims, pkt)
+				target[pkt] = far
+			}
+		}
 	}
 	sort.Slice(victims, func(i, j int) bool { return victims[i].flow < victims[j].flow })
 	for _, pkt := range victims {
 		pkt.Truncated = true
 		n.mTruncated.Inc()
-		n.tracePkt("truncate", n.inTransit[l][pkt], pkt)
+		n.tracePkt("truncate", target[pkt], pkt)
 		n.lost(pkt)
 	}
 }
@@ -379,13 +415,19 @@ func (n *Network) InFlight() int {
 // outbox is modeled as elastic, so congestion manifests downstream in the
 // fabric rather than at the injection point.
 func (n *Network) Send(p *Packet) {
-	n.Stats.Injected++
+	atomic.AddUint64(&n.Stats.Injected, 1)
 	n.mLanePackets[p.Lane].Inc()
 	n.mLaneFlits[p.Lane].Add(uint64(flits(p)))
-	p.Injected = n.E.Now()
+	p.Injected = n.now(p.Src)
 	if p.flow == 0 {
-		n.flowSeq++
-		p.flow = n.flowSeq
+		if pt := n.cfg.Partition; pt != nil {
+			reg := pt.Of[p.Src]
+			n.flowSeqR[reg]++
+			p.flow = uint64(reg+1)<<regionFlowShift | n.flowSeqR[reg]
+		} else {
+			n.flowSeq++
+			p.flow = n.flowSeq
+		}
 	}
 	n.tracePkt("inject", p.Src, p)
 	if p.SourceRoute != nil {
@@ -395,12 +437,12 @@ func (n *Network) Send(p *Packet) {
 		p.hop = 0
 	}
 	if p.Dst == p.Src && (p.SourceRoute == nil || len(p.SourceRoute) == 1) {
-		n.E.AfterCall(n.cfg.LoopbackDelay, n.deliverFn, p, nil, 0)
+		n.eng(p.Src).AfterCall(n.cfg.LoopbackDelay, n.deliverFn, p, nil, 0)
 		return
 	}
 	rs := n.routers[p.Src]
 	if rs.failed {
-		n.Stats.DroppedRouter++
+		atomic.AddUint64(&n.Stats.DroppedRouter, 1)
 		n.tracePkt("drop-router", p.Src, p)
 		n.lost(p)
 		return
@@ -420,7 +462,7 @@ func (n *Network) Send(p *Packet) {
 func (n *Network) nextPort(r int, p *Packet) (port int, ok bool) {
 	if p.SourceRoute != nil {
 		if p.hop+1 >= len(p.SourceRoute) {
-			n.Stats.DroppedNoRoute++
+			atomic.AddUint64(&n.Stats.DroppedNoRoute, 1)
 			n.tracePkt("drop-noroute", r, p)
 			n.lost(p)
 			return 0, false
@@ -428,7 +470,7 @@ func (n *Network) nextPort(r int, p *Packet) (port int, ok bool) {
 		next := p.SourceRoute[p.hop+1]
 		port = n.Topo.PortTo(r, next)
 		if port < 0 {
-			n.Stats.DroppedNoRoute++
+			atomic.AddUint64(&n.Stats.DroppedNoRoute, 1)
 			n.tracePkt("drop-noroute", r, p)
 			n.lost(p)
 			return 0, false
@@ -436,14 +478,14 @@ func (n *Network) nextPort(r int, p *Packet) (port int, ok bool) {
 	} else {
 		port = n.routers[r].table[p.Dst]
 		if port < 0 {
-			n.Stats.DroppedNoRoute++
+			atomic.AddUint64(&n.Stats.DroppedNoRoute, 1)
 			n.tracePkt("drop-noroute", r, p)
 			n.lost(p)
 			return 0, false
 		}
 	}
 	if n.routers[r].discard[port] {
-		n.Stats.DroppedIsolation++
+		atomic.AddUint64(&n.Stats.DroppedIsolation, 1)
 		n.tracePkt("drop-isolation", r, p)
 		n.lost(p)
 		return 0, false
@@ -460,24 +502,38 @@ func (n *Network) kick(ch *channel) {
 		return
 	}
 	pkt := ch.q[0]
-	link := n.Topo.Adjacency(ch.router)[ch.port].Link
+	adj := n.Topo.Adjacency(ch.router)[ch.port]
+	link := adj.Link
 	if !n.linkUp[link] {
 		// Black hole: sink the head packet and try the next.
 		n.tracePkt("drop-blackhole", ch.router, pkt)
 		n.lost(pkt)
 		ch.dropHead()
-		n.Stats.DroppedLink++
+		atomic.AddUint64(&n.Stats.DroppedLink, 1)
 		n.mBlackholed.Inc()
 		n.wakeWaiters(ch)
 		n.kick(ch)
 		return
 	}
 	ch.serving = true
-	if n.inTransit[link] == nil {
-		n.inTransit[link] = make(map[*Packet]int)
+	if ch.inTransit == nil {
+		ch.inTransit = make(map[*Packet]int)
 	}
-	n.inTransit[link][pkt] = n.Topo.Adjacency(ch.router)[ch.port].To
-	n.E.AfterCall(serviceTime(pkt), n.arriveFn, ch, pkt, uint64(link))
+	ch.inTransit[pkt] = adj.To
+	if pt := n.cfg.Partition; pt != nil && pt.Of[ch.router] != pt.Of[adj.To] {
+		// Inter-region link: the hop splits into a source-side launch
+		// (frees the channel after the link service time) and a
+		// destination-side ingress scheduled through the partition
+		// coordinator after the extra inter-region wire delay. See
+		// partition.go for the model.
+		e := n.eng(ch.router)
+		deliverAt := e.Now() + serviceTime(pkt) + pt.Extra
+		pt.P.Send(pt.Of[ch.router], pt.Of[adj.To], deliverAt,
+			nil, n.ingressFn, pkt, nil, packRL(adj.To, link))
+		e.AfterCall(serviceTime(pkt), n.launchFn, ch, pkt, uint64(link))
+		return
+	}
+	n.eng(ch.router).AfterCall(serviceTime(pkt), n.arriveFn, ch, pkt, uint64(link))
 }
 
 // arriveEv is the pre-bound event form of arrive, scheduled by kick for
@@ -491,7 +547,7 @@ func (n *Network) arriveEv(a1, a2 any, u uint64) {
 // output channel (or node) or blocks, keeping its slot in ch.
 func (n *Network) arrive(ch *channel, pkt *Packet, link int) {
 	ch.serving = false
-	delete(n.inTransit[link], pkt)
+	delete(ch.inTransit, pkt)
 	if n.routers[ch.router].failed || len(ch.q) == 0 || ch.q[0] != pkt {
 		// The source router failed mid-service and already destroyed
 		// this packet (and counted it); nothing left to advance.
@@ -503,7 +559,7 @@ func (n *Network) arrive(ch *channel, pkt *Packet, link int) {
 		n.tracePkt("drop-blackhole", ch.router, pkt)
 		n.lost(pkt)
 		n.popHead(ch)
-		n.Stats.DroppedLink++
+		atomic.AddUint64(&n.Stats.DroppedLink, 1)
 		n.mBlackholed.Inc()
 		return
 	}
@@ -519,7 +575,7 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 		n.tracePkt("drop-router", r, pkt)
 		n.lost(pkt)
 		n.popHead(ch)
-		n.Stats.DroppedRouter++
+		atomic.AddUint64(&n.Stats.DroppedRouter, 1)
 		return
 	}
 	if pkt.SourceRoute != nil {
@@ -527,7 +583,7 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 			n.tracePkt("drop-noroute", r, pkt)
 			n.lost(pkt)
 			n.popHead(ch)
-			n.Stats.DroppedNoRoute++
+			atomic.AddUint64(&n.Stats.DroppedNoRoute, 1)
 			return
 		}
 	}
@@ -540,7 +596,7 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 			n.tracePkt("drop-deadnode", r, pkt)
 			n.lost(pkt)
 			n.popHead(ch)
-			n.Stats.DroppedDeadNode++
+			atomic.AddUint64(&n.Stats.DroppedDeadNode, 1)
 			return
 		}
 		if n.endpoints[r] == nil || n.endpoints[r].Accept(pkt) {
@@ -549,9 +605,9 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 			}
 			n.tracePkt("deliver", r, pkt)
 			n.popHead(ch)
-			n.Stats.Delivered++
+			atomic.AddUint64(&n.Stats.Delivered, 1)
 			if pkt.Truncated {
-				n.Stats.DeliveredTrunc++
+				atomic.AddUint64(&n.Stats.DeliveredTrunc, 1)
 			}
 			return
 		}
@@ -589,10 +645,10 @@ func (n *Network) advance(ch *channel, pkt *Packet) {
 // the head-drop timeout.
 func (n *Network) block(ch *channel, pkt *Packet) {
 	ch.blocked = true
-	ch.blockedAt = n.E.Now()
+	ch.blockedAt = n.now(ch.router)
 	n.mStalls.Inc()
 	if pkt.Lane.IsRecovery() {
-		n.E.AfterCall(n.cfg.RecoveryHeadDrop, n.headDropFn, ch, pkt, 0)
+		n.eng(ch.router).AfterCall(n.cfg.RecoveryHeadDrop, n.headDropFn, ch, pkt, 0)
 	}
 }
 
@@ -605,7 +661,7 @@ func (n *Network) headDropEv(a1, a2 any, _ uint64) {
 		n.tracePkt("drop-headtimeout", ch.router, pkt)
 		n.lost(pkt)
 		n.popHead(ch)
-		n.Stats.DroppedHeadTimeout++
+		atomic.AddUint64(&n.Stats.DroppedHeadTimeout, 1)
 	}
 }
 
@@ -659,7 +715,7 @@ func (n *Network) deliver(p *Packet) {
 		return
 	}
 	if n.routers[p.Dst].discardLocal {
-		n.Stats.DroppedDeadNode++
+		atomic.AddUint64(&n.Stats.DroppedDeadNode, 1)
 		n.tracePkt("drop-deadnode", p.Dst, p)
 		n.lost(p)
 		return
@@ -669,11 +725,11 @@ func (n *Network) deliver(p *Packet) {
 		if backoff < sim.Microsecond {
 			backoff = sim.Microsecond
 		}
-		n.E.AfterCall(backoff, n.deliverFn, p, nil, 0)
+		n.eng(p.Dst).AfterCall(backoff, n.deliverFn, p, nil, 0)
 		return
 	}
 	n.tracePkt("deliver", p.Dst, p)
-	n.Stats.Delivered++
+	atomic.AddUint64(&n.Stats.Delivered, 1)
 }
 
 // deliverEv is the pre-bound event form of deliver, used for loopback
@@ -704,5 +760,5 @@ func (n *Network) ProbeRouter(path []int, cb func()) {
 			rtt += 2 * (timing.RouterHop + timing.LinkWire + 16*timing.LinkBytePeriod)
 		}
 	}
-	n.E.After(rtt+2*timing.RouterHop, cb)
+	n.eng(path[0]).After(rtt+2*timing.RouterHop, cb)
 }

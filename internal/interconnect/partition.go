@@ -1,0 +1,185 @@
+package interconnect
+
+import (
+	"sync/atomic"
+
+	"flashfc/internal/sim"
+	"flashfc/internal/timing"
+)
+
+// Partition spreads one fabric across the region-local engines of a
+// partitioned simulation (internal/sim.Partitioned). Every router's events
+// run on its region's engine; hops inside a region are exactly the classic
+// model, while a hop across an inter-region link splits into two halves:
+//
+//	source side: the sending channel is occupied for the normal link
+//	service time, then released — the long inter-region wire is elastic,
+//	so no backpressure (and no zero-latency waiter wakeups) ever crosses
+//	a region boundary during a parallel window;
+//
+//	destination side: the packet appears at the far router's input after
+//	service time + Extra, delivered through the partition coordinator's
+//	ordered cross-region channel (sim.Partitioned.Send), which merges it
+//	deterministically at a window barrier.
+//
+// Extra models the longer wires of a clusterized mesh (TSAR-style
+// inter-cluster cabling): region-crossing links are physically longer than
+// in-cluster ones, and that physical latency is exactly what a conservative
+// simulation converts into lookahead. The partition lookahead must be
+// LookaheadBound(Extra) — the minimum time any packet needs to cross a
+// boundary — so every cross-region delivery lands at or beyond the next
+// window barrier.
+type Partition struct {
+	// Of maps router -> region (topology.Regions.Of).
+	Of []int
+	// Engines holds the per-region engines, indexed by region.
+	Engines []*sim.Engine
+	// P is the window/barrier coordinator the boundary hops post through.
+	P *sim.Partitioned
+	// Extra is the additional wire latency of an inter-region link.
+	Extra sim.Time
+}
+
+// LookaheadBound returns the minimum latency of an inter-region hop with
+// the given extra wire delay: the smallest possible link service time (a
+// header-only packet) plus the extra wire. This is the conservative
+// lookahead a partitioned machine must run its windows at.
+func LookaheadBound(extra sim.Time) sim.Time {
+	return timing.RouterHop + timing.LinkWire + timing.HeaderBytes*timing.LinkBytePeriod + extra
+}
+
+// regionFlowShift positions the region tag in partitioned flow ids: the low
+// 40 bits count injections within the region (plenty for any run), the high
+// bits carry region+1 so ids from different regions never collide and a
+// partitioned id is never 0.
+const regionFlowShift = 40
+
+// eng returns the engine that runs router r's events.
+func (n *Network) eng(r int) *sim.Engine {
+	if pt := n.cfg.Partition; pt != nil {
+		return pt.Engines[pt.Of[r]]
+	}
+	return n.E
+}
+
+// now returns the current simulated time at router r — its own region's
+// clock in partitioned mode. During a parallel window only r's region
+// observes it, and in global mode all clocks agree, so it is always the
+// time of the event being executed.
+func (n *Network) now(r int) sim.Time {
+	return n.eng(r).Now()
+}
+
+// packRL packs a (router, link) pair into the one uint64 callback argument.
+func packRL(router, link int) uint64 {
+	return uint64(uint32(router))<<32 | uint64(uint32(link))
+}
+
+// launchEv fires on the source side when a packet finishes its service time
+// on an inter-region link: the packet has left the region, so free its
+// channel slot and move the queue along. The packet's fate is decided by
+// ingressEv on the destination side.
+func (n *Network) launchEv(a1, a2 any, _ uint64) {
+	ch, pkt := a1.(*channel), a2.(*Packet)
+	ch.serving = false
+	delete(ch.inTransit, pkt)
+	if n.routers[ch.router].failed || len(ch.q) == 0 || ch.q[0] != pkt {
+		// The source router failed mid-service and already destroyed
+		// this packet (and counted it); nothing left to pop.
+		return
+	}
+	n.popHead(ch)
+}
+
+// ingressEv fires in the destination region when a packet arrives over an
+// inter-region link (scheduled by kick through the partition coordinator).
+func (n *Network) ingressEv(a1, _ any, u uint64) {
+	pkt := a1.(*Packet)
+	r, link := int(u>>32), int(uint32(u))
+	// A link that died while the packet was on the wire destroys it — the
+	// inter-region cable is part of the link — unless the failure already
+	// marked it as the truncation victim, in which case it continues to
+	// its destination truncated, like any in-flight packet (§3.1).
+	if !n.linkUp[link] && !pkt.Truncated {
+		n.tracePkt("drop-blackhole", r, pkt)
+		n.lost(pkt)
+		atomic.AddUint64(&n.Stats.DroppedLink, 1)
+		n.mBlackholed.Inc()
+		return
+	}
+	n.tracePkt("hop", r, pkt)
+	n.arriveFree(r, pkt)
+}
+
+// retryEv retries a boundary-arrived packet whose destination controller
+// refused it (full input queue): the elastic inter-region path has no
+// channel to block on, so refusal is polled with the same backoff the
+// loopback path uses.
+func (n *Network) retryEv(a1, _ any, u uint64) {
+	n.arriveFree(int(u), a1.(*Packet))
+}
+
+// arriveFree advances a packet that is at router r's input without
+// occupying a sending channel: the destination half of an inter-region hop.
+// It mirrors advance() exactly, except that where advance blocks a source
+// channel (full next-hop buffer, refusing controller), arriveFree is
+// elastic — the next-hop queue absorbs the packet, and controller refusal
+// becomes a timed retry. Both divergences are confined to boundary
+// crossings, are identical at any worker count, and never let one region
+// synchronously touch another mid-window.
+func (n *Network) arriveFree(r int, pkt *Packet) {
+	if n.routers[r].failed {
+		n.tracePkt("drop-router", r, pkt)
+		n.lost(pkt)
+		atomic.AddUint64(&n.Stats.DroppedRouter, 1)
+		return
+	}
+	if pkt.SourceRoute != nil {
+		if pkt.hop+1 >= len(pkt.SourceRoute) || pkt.SourceRoute[pkt.hop+1] != r {
+			n.tracePkt("drop-noroute", r, pkt)
+			n.lost(pkt)
+			atomic.AddUint64(&n.Stats.DroppedNoRoute, 1)
+			return
+		}
+	}
+	atDst := pkt.Dst == r
+	if pkt.SourceRoute != nil {
+		atDst = pkt.hop+2 == len(pkt.SourceRoute) && atDst
+	}
+	if atDst {
+		if n.routers[r].discardLocal {
+			n.tracePkt("drop-deadnode", r, pkt)
+			n.lost(pkt)
+			atomic.AddUint64(&n.Stats.DroppedDeadNode, 1)
+			return
+		}
+		if n.endpoints[r] == nil || n.endpoints[r].Accept(pkt) {
+			if pkt.SourceRoute != nil {
+				pkt.hop++
+			}
+			n.tracePkt("deliver", r, pkt)
+			atomic.AddUint64(&n.Stats.Delivered, 1)
+			if pkt.Truncated {
+				atomic.AddUint64(&n.Stats.DeliveredTrunc, 1)
+			}
+			return
+		}
+		backoff := n.cfg.LoopbackDelay
+		if backoff < sim.Microsecond {
+			backoff = sim.Microsecond
+		}
+		n.mStalls.Inc()
+		n.eng(r).AfterCall(backoff, n.retryFn, pkt, nil, uint64(r))
+		return
+	}
+	if pkt.SourceRoute != nil {
+		pkt.hop++
+	}
+	port, ok := n.nextPort(r, pkt)
+	if !ok {
+		return // counted by nextPort; packet is gone
+	}
+	tch := n.routers[r].chans[port][pkt.Lane]
+	tch.q = append(tch.q, pkt) // elastic ingress: the boundary absorbs bursts
+	n.kick(tch)
+}

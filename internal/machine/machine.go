@@ -57,7 +57,35 @@ type Config struct {
 	// Recovery carries recovery-algorithm options; machine wiring
 	// overwrites the callbacks and charge sizes.
 	Recovery core.Config
+
+	// Partitions, when > 0, runs the machine's event core as a partitioned
+	// simulation: the mesh is decomposed into fixed regions (one engine
+	// each, topology.AutoRegions) advanced in conservative lookahead
+	// windows, with Partitions worker threads multiplexing the regions.
+	// The decomposition is a pure function of the topology — Partitions
+	// only sets the thread count — so results are bit-identical at any
+	// value. 0 builds the classic single-engine machine, untouched.
+	Partitions int
+	// RegionLinkExtra is the additional wire latency of inter-region links
+	// in partitioned mode: regions model clusters of a clusterized mesh,
+	// whose inter-cluster cables are physically longer. It sets the
+	// conservative lookahead (interconnect.LookaheadBound). 0 selects
+	// DefaultRegionLinkExtra.
+	RegionLinkExtra sim.Time
+	// ParallelWindows opts into parallel window execution, for drivers
+	// whose workload is region-safe (every event handler touches only its
+	// own region's state; cross-region interaction is packet-only). Off by
+	// default: the machine then runs every window in the deterministic
+	// global interleave, which is safe for all workloads — including the
+	// fault/recovery paths, which touch machine-wide state. Fault
+	// injection forces global mode from the injection time regardless.
+	ParallelWindows bool
 }
+
+// DefaultRegionLinkExtra is the inter-region wire latency used when
+// Config.RegionLinkExtra is 0: 2 µs, long enough that lookahead windows
+// amortize the barrier cost, short next to every recovery timescale.
+const DefaultRegionLinkExtra = 2 * sim.Microsecond
 
 // DefaultConfig returns a Table 5.1-style machine: mesh topology, 1 MB of
 // memory per node, 1 MB L2.
@@ -87,13 +115,19 @@ type Node struct {
 
 // Machine is a complete simulated system.
 type Machine struct {
-	Cfg    Config
-	E      *sim.Engine
-	Topo   *topology.Topology
-	Net    *interconnect.Network
-	Space  coherence.AddrSpace
-	Nodes  []*Node
-	Oracle *Oracle
+	Cfg  Config
+	E    *sim.Engine
+	Topo *topology.Topology
+	// P is the partition coordinator of a partitioned machine (Config.
+	// Partitions > 0); nil on classic machines. When non-nil, E is region
+	// 0's engine and all driving must go through Advance/RunUntilRecovered.
+	P *sim.Partitioned
+	// Regions is the fixed region decomposition of a partitioned machine.
+	Regions *topology.Regions
+	Net     *interconnect.Network
+	Space   coherence.AddrSpace
+	Nodes   []*Node
+	Oracle  *Oracle
 	// Metrics is the machine-wide registry every layer reports into. Each
 	// machine owns its own registry — no globals — so parallel campaign
 	// runs stay independent and bit-identical.
@@ -149,28 +183,75 @@ func build(cfg Config, snap *Snapshot) *Machine {
 		w, h := MeshShape(cfg.Nodes)
 		topo = topology.NewMesh(w, h)
 	}
+	var regions *topology.Regions
+	if cfg.Partitions > 0 {
+		regions = topology.AutoRegions(topo)
+	}
 	var e *sim.Engine
+	var P *sim.Partitioned
 	var reg *metrics.Registry
 	oracle := NewOracle()
 	if snap != nil {
-		e = sim.NewEngineFromSnapshot(snap.Engine)
 		reg = snap.Metrics.Clone()
 		oracle = snap.Oracle.Clone()
 	} else {
-		e = sim.NewEngine(cfg.Seed)
 		reg = metrics.NewRegistry()
+	}
+	extra := cfg.RegionLinkExtra
+	if extra <= 0 {
+		extra = DefaultRegionLinkExtra
+	}
+	if regions != nil {
+		la := interconnect.LookaheadBound(extra)
+		if snap != nil && len(snap.Regions) == regions.Count() {
+			engines := make([]*sim.Engine, regions.Count())
+			for i, es := range snap.Regions {
+				engines[i] = sim.NewEngineFromSnapshot(es)
+			}
+			P = sim.NewPartitionedFromEngines(engines, la, cfg.Partitions)
+		} else if snap != nil {
+			panic(fmt.Sprintf("machine: snapshot has %d region engines, topology needs %d",
+				len(snap.Regions), regions.Count()))
+		} else {
+			P = sim.NewPartitioned(cfg.Seed, regions.Count(), la, cfg.Partitions)
+		}
+		if !cfg.ParallelWindows {
+			P.SetGlobalFrom(0)
+		}
+		e = P.Region(0)
+		if cfg.Trace != nil {
+			// Concurrent region workers make recording order scheduling
+			// noise; full-tuple sorting keeps exported traces
+			// bit-identical at any worker count.
+			cfg.Trace.Deterministic = true
+		}
+	} else if snap != nil {
+		e = sim.NewEngineFromSnapshot(snap.Engine)
+	} else {
+		e = sim.NewEngine(cfg.Seed)
 	}
 	icfg := interconnect.DefaultConfig()
 	icfg.Reliable = cfg.ReliableInterconnect
 	icfg.Metrics = reg
 	icfg.Trace = cfg.Trace
+	if P != nil {
+		of := make([]int, topo.Routers())
+		engines := make([]*sim.Engine, regions.Count())
+		for i := range of {
+			of[i] = regions.Of(i)
+		}
+		for i := range engines {
+			engines[i] = P.Region(i)
+		}
+		icfg.Partition = &interconnect.Partition{Of: of, Engines: engines, P: P, Extra: extra}
+	}
 	net := interconnect.New(e, topo, icfg)
 	if snap != nil {
 		net.Restore(snap.Net)
 	}
 	space := coherence.AddrSpace{Nodes: cfg.Nodes, MemBytes: cfg.MemBytes, VectorTop: cfg.VectorTop}
 	m := &Machine{
-		Cfg: cfg, E: e, Topo: topo, Net: net, Space: space,
+		Cfg: cfg, E: e, Topo: topo, P: P, Regions: regions, Net: net, Space: space,
 		Oracle:    oracle,
 		Metrics:   reg,
 		truth:     topology.NewView(topo),
@@ -193,6 +274,13 @@ func build(cfg Config, snap *Snapshot) *Machine {
 	userOnComplete := rcfg.OnComplete
 
 	for i := 0; i < cfg.Nodes; i++ {
+		// Every component of node i lives on its region's engine, so all
+		// node-local events run on the region scheduler; only packets (and
+		// global-mode recovery) cross regions.
+		en := e
+		if P != nil {
+			en = P.Region(regions.Of(i))
+		}
 		n := &Node{ID: i}
 		if snap != nil {
 			ns := &snap.Nodes[i]
@@ -204,7 +292,7 @@ func build(cfg Config, snap *Snapshot) *Machine {
 			n.Dir = coherence.NewDirectory(cfg.Nodes)
 			n.Cache = coherence.NewCache(cfg.L2Bytes)
 		}
-		n.Ctrl = magic.New(e, net, i, space, n.Dir, n.Mem, n.Cache, cfg.Magic)
+		n.Ctrl = magic.New(en, net, i, space, n.Dir, n.Mem, n.Cache, cfg.Magic)
 		if snap != nil {
 			n.Ctrl.Restore(snap.Nodes[i].Ctrl)
 		}
@@ -216,7 +304,7 @@ func build(cfg Config, snap *Snapshot) *Machine {
 		if cfg.FailureUnits != nil {
 			n.Ctrl.SetFailureUnits(cfg.FailureUnits)
 		}
-		n.CPU = proc.New(e, n.Ctrl, cfg.CPUWindow)
+		n.CPU = proc.New(en, n.Ctrl, cfg.CPUWindow)
 		if snap != nil {
 			n.CPU.Restore(snap.Nodes[i].CPU)
 		}
@@ -236,7 +324,7 @@ func build(cfg Config, snap *Snapshot) *Machine {
 				userOnComplete(r)
 			}
 		}
-		n.Agent = core.NewAgent(e, net, n.Ctrl, topo, nodeCfg)
+		n.Agent = core.NewAgent(en, net, n.Ctrl, topo, nodeCfg)
 		m.Nodes = append(m.Nodes, n)
 	}
 	return m
@@ -290,22 +378,41 @@ func (m *Machine) FalseAlarm(id int) {
 	m.planExpectations()
 }
 
-// Inject applies f now.
+// Inject applies f now. On a partitioned machine it also switches all
+// further execution to the deterministic global interleave: fault handling
+// and recovery touch cross-region state (truth view, oracle, remote agents)
+// and must not run concurrently with region workers.
 func (m *Machine) Inject(f fault.Fault) {
-	m.Cfg.Trace.Record(m.E.Now(), -1, trace.KindFault, "%v", f)
+	if m.P != nil {
+		m.P.SetGlobalFrom(m.P.Now())
+	}
+	m.Cfg.Trace.Record(m.Now(), -1, trace.KindFault, "%v", f)
 	m.Metrics.Counter("machine.faults_injected").Inc()
 	f.Apply(m)
 }
 
 // InjectAll applies a compound fault (e.g. fault.PowerLoss) now.
 func (m *Machine) InjectAll(fs []fault.Fault) {
+	if m.P != nil {
+		m.P.SetGlobalFrom(m.P.Now())
+	}
 	for _, f := range fs {
 		f.Apply(m)
 	}
 }
 
-// InjectAt schedules f at simulated time t.
+// InjectAt schedules f at simulated time t. On a partitioned machine every
+// window from the one containing t on runs globally interleaved, so the
+// injection event (scheduled on region 0) fires at the correct global time
+// and may touch any region's state.
 func (m *Machine) InjectAt(f fault.Fault, t sim.Time) {
+	if m.P != nil {
+		g := t - m.P.Lookahead() + 1
+		if g < 0 {
+			g = 0
+		}
+		m.P.SetGlobalFrom(g)
+	}
 	m.E.At(t, func() { f.Apply(m) })
 }
 
@@ -438,11 +545,27 @@ func (m *Machine) observeRecovery() {
 // MetricsSnapshot scrapes the engine-level counters into the registry and
 // returns a point-in-time snapshot of every instrument. The sim package
 // cannot import metrics (it sits below everything), so its counters are
-// pulled here rather than pushed there.
+// pulled here rather than pushed there. On a partitioned machine the
+// engine totals sum all regions, and per-partition instruments
+// (sim.partition.NN.*) expose each region's deterministic load accounting.
 func (m *Machine) MetricsSnapshot() *metrics.Snapshot {
-	m.Metrics.Counter("sim.events_fired").Set(m.E.EventsFired())
-	m.Metrics.Counter("sim.heap_compactions").Set(m.E.Compactions())
-	m.Metrics.Gauge("sim.events_pending").Set(int64(m.E.Pending()))
+	if m.P != nil {
+		m.Metrics.Counter("sim.events_fired").Set(m.P.EventsFired())
+		m.Metrics.Counter("sim.heap_compactions").Set(m.P.Compactions())
+		m.Metrics.Gauge("sim.events_pending").Set(int64(m.P.Pending()))
+		m.Metrics.Counter("sim.barriers").Set(m.P.Barriers())
+		m.Metrics.Counter("sim.cross_region_merged").Set(m.P.Merged())
+		for i := 0; i < m.P.Regions(); i++ {
+			fired, stalls, merged := m.P.RegionLoad(i)
+			m.Metrics.Counter(fmt.Sprintf("sim.partition.%02d.events_fired", i)).Set(fired)
+			m.Metrics.Counter(fmt.Sprintf("sim.partition.%02d.lookahead_stalls", i)).Set(stalls)
+			m.Metrics.Counter(fmt.Sprintf("sim.partition.%02d.merged_in", i)).Set(merged)
+		}
+	} else {
+		m.Metrics.Counter("sim.events_fired").Set(m.E.EventsFired())
+		m.Metrics.Counter("sim.heap_compactions").Set(m.E.Compactions())
+		m.Metrics.Gauge("sim.events_pending").Set(int64(m.E.Pending()))
+	}
 	return m.Metrics.Snapshot()
 }
 
@@ -463,15 +586,35 @@ func (m *Machine) Recovered() bool { return m.recovered }
 // Reports returns the collected recovery reports by node.
 func (m *Machine) Reports() map[int]*core.Report { return m.reports }
 
+// Now returns the machine's simulated time: the partition coordinator's
+// clock on a partitioned machine, the engine clock otherwise.
+func (m *Machine) Now() sim.Time {
+	if m.P != nil {
+		return m.P.Now()
+	}
+	return m.E.Now()
+}
+
+// Advance runs the simulation to time t — the one driving entry point that
+// works on both sequential and partitioned machines. Experiment drivers
+// must use it (or RunUntilRecovered) instead of m.E.RunUntil.
+func (m *Machine) Advance(t sim.Time) {
+	if m.P != nil {
+		m.P.RunUntil(t)
+		return
+	}
+	m.E.RunUntil(t)
+}
+
 // RunUntilRecovered advances the simulation until recovery completes or the
 // deadline passes; it reports whether recovery completed.
 func (m *Machine) RunUntilRecovered(deadline sim.Time) bool {
-	for !m.recovered && m.E.Now() < deadline {
-		step := m.E.Now() + sim.Millisecond
+	for !m.recovered && m.Now() < deadline {
+		step := m.Now() + sim.Millisecond
 		if step > deadline {
 			step = deadline
 		}
-		m.E.RunUntil(step)
+		m.Advance(step)
 	}
 	return m.recovered
 }

@@ -37,8 +37,12 @@ type NodeSnapshot struct {
 // values inside Cfg (Recovery.OnEnter etc.) are carried as-is and must not
 // close over per-run state.
 type Snapshot struct {
-	Cfg     Config
-	Engine  sim.EngineSnapshot
+	Cfg    Config
+	Engine sim.EngineSnapshot
+	// Regions holds the per-region engine snapshots of a partitioned
+	// machine (Regions[0] == Engine); nil on sequential machines, keeping
+	// their snapshot format unchanged.
+	Regions []sim.EngineSnapshot `json:",omitempty"`
 	Net     *interconnect.Snapshot
 	Nodes   []NodeSnapshot
 	Oracle  *Oracle
@@ -53,7 +57,11 @@ type Snapshot struct {
 // description of what is still in flight; the returned snapshot is then
 // complete by construction — nothing transient existed to lose.
 func (m *Machine) Snapshot() *Snapshot {
-	if p := m.E.Pending(); p != 0 {
+	if m.P != nil {
+		if p := m.P.Pending(); p != 0 {
+			panic(fmt.Sprintf("machine: snapshot with %d events pending across regions", p))
+		}
+	} else if p := m.E.Pending(); p != 0 {
 		panic(fmt.Sprintf("machine: snapshot with %d events pending", p))
 	}
 	switch {
@@ -84,6 +92,12 @@ func (m *Machine) Snapshot() *Snapshot {
 		Oracle:  m.Oracle.Clone(),
 		Metrics: m.Metrics.Clone(),
 		Trace:   m.Cfg.Trace.SnapshotState(),
+	}
+	if m.P != nil {
+		s.Regions = make([]sim.EngineSnapshot, m.P.Regions())
+		for i := range s.Regions {
+			s.Regions[i] = m.P.Region(i).Snapshot()
+		}
 	}
 	for i, n := range m.Nodes {
 		if ph, ep := n.Agent.Phase(), n.Agent.Epoch(); ph != core.PhaseIdle || ep != 0 {

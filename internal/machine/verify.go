@@ -70,11 +70,11 @@ func (m *Machine) VerifyMemory(reader int, stride int) *VerifyResult {
 	// Drive the simulation until the sweep completes. The drain is
 	// bounded: a wedged controller can keep generating retry events
 	// forever, and the sweep must terminate regardless.
-	deadline := m.E.Now() + 30*sim.Second
-	for res.Pending > 0 && cpu.Inflight()+cpu.QueueLen() > 0 && m.E.Now() < deadline {
-		m.E.RunUntil(m.E.Now() + sim.Millisecond)
+	deadline := m.Now() + 30*sim.Second
+	for res.Pending > 0 && cpu.Inflight()+cpu.QueueLen() > 0 && m.Now() < deadline {
+		m.Advance(m.Now() + sim.Millisecond)
 	}
-	m.E.RunUntil(m.E.Now() + 10*sim.Millisecond)
+	m.Advance(m.Now() + 10*sim.Millisecond)
 	return res
 }
 

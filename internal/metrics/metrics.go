@@ -24,32 +24,41 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing event count.
-type Counter struct{ v uint64 }
+// Counter is a monotonically increasing event count. Updates are atomic:
+// partitioned machines (internal/sim.Partitioned) run region schedulers on
+// concurrent workers that all report into one machine registry, and because
+// counter updates are commutative sums, snapshots stay bit-identical at any
+// worker count.
+type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one. Safe on a nil counter (no-op).
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n. Safe on a nil counter (no-op).
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
 // Set overwrites the count. It exists for scraped counters — values pulled
 // from a component that keeps its own tally (e.g. the sim engine) — where
-// re-scraping must be idempotent. Safe on a nil counter (no-op).
+// re-scraping must be idempotent. Scrapes happen between windows (single-
+// threaded), so Set carries no commutativity requirement. Safe on a nil
+// counter (no-op).
 func (c *Counter) Set(v uint64) {
 	if c != nil {
-		c.v = v
+		c.v.Store(v)
 	}
 }
 
@@ -58,16 +67,19 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is an instantaneous level (queue depth, pending events).
-type Gauge struct{ v int64 }
+// Gauge is an instantaneous level (queue depth, pending events). Stores are
+// atomic, but last-writer-wins: deterministic snapshots require that a gauge
+// be set from one region only, or between windows — which holds for the
+// existing gauges (all set at scrape time).
+type Gauge struct{ v atomic.Int64 }
 
 // Set records the current level. Safe on a nil gauge (no-op).
 func (g *Gauge) Set(v int64) {
 	if g != nil {
-		g.v = v
+		g.v.Store(v)
 	}
 }
 
@@ -76,7 +88,7 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // Histogram bucket boundaries: fixed log-spaced (1-2-5 per decade) upper
@@ -99,12 +111,25 @@ func buildBounds() []int64 {
 func BucketBounds() []int64 { return append([]int64(nil), bucketBounds...) }
 
 // Histogram accumulates simulated-time observations (int64 nanoseconds,
-// i.e. sim.Time values) into the fixed log-spaced buckets.
+// i.e. sim.Time values) into the fixed log-spaced buckets. Updates are
+// atomic and commutative (sums, bucket adds, CAS-raced min/max), so
+// concurrent region workers observing into one histogram produce the same
+// snapshot in any interleaving.
 type Histogram struct {
-	count    uint64
-	sum      int64
-	min, max int64
-	buckets  []uint64 // len(bucketBounds)+1; last is overflow
+	count atomic.Uint64
+	sum   atomic.Int64
+	// min/max start at the identity sentinels so Observe needs no
+	// count==0 special case under concurrency; readers report 0 until
+	// the first observation.
+	min, max atomic.Int64
+	buckets  []atomic.Uint64 // len(bucketBounds)+1; last is overflow
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{buckets: make([]atomic.Uint64, len(bucketBounds)+1)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
 }
 
 // Observe records one value. Safe on a nil histogram (no-op).
@@ -112,16 +137,22 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	if h.count == 0 || v < h.min {
-		h.min = v
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
 	}
-	if h.count == 0 || v > h.max {
-		h.max = v
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
 	}
-	h.count++
-	h.sum += v
+	h.count.Add(1)
+	h.sum.Add(v)
 	i := sort.Search(len(bucketBounds), func(i int) bool { return bucketBounds[i] >= v })
-	h.buckets[i]++
+	h.buckets[i].Add(1)
 }
 
 // Count returns the number of observations (0 for a nil histogram).
@@ -129,7 +160,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of all observations (0 for a nil histogram).
@@ -137,15 +168,26 @@ func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
+}
+
+// minMax returns the observed extremes, or zeros before any observation
+// (the sentinel values never escape).
+func (h *Histogram) minMax() (int64, int64) {
+	if h.count.Load() == 0 {
+		return 0, 0
+	}
+	return h.min.Load(), h.max.Load()
 }
 
 // Registry is one machine's metric namespace. Instruments are created on
 // first use and shared by name, so e.g. every node controller incrementing
-// "magic.naks_sent" feeds one machine-wide counter. A Registry is not
-// synchronized: a simulated machine is single-threaded, and parallel
-// campaigns give every run its own registry.
+// "magic.naks_sent" feeds one machine-wide counter. Lookup is mutex-guarded
+// and the instruments themselves are atomic, so one registry may be shared
+// by the concurrent region workers of a partitioned machine; parallel
+// campaigns still give every run its own registry.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -166,6 +208,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -180,6 +224,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -194,9 +240,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
-		h = &Histogram{buckets: make([]uint64, len(bucketBounds)+1)}
+		h = newHistogram()
 		r.hists[name] = h
 	}
 	return h
@@ -209,18 +257,29 @@ func (r *Registry) Clone() *Registry {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := NewRegistry()
 	for name, c := range r.counters {
-		n.counters[name] = &Counter{v: c.v}
+		nc := &Counter{}
+		nc.v.Store(c.v.Load())
+		n.counters[name] = nc
 	}
 	for name, g := range r.gauges {
-		n.gauges[name] = &Gauge{v: g.v}
+		ng := &Gauge{}
+		ng.v.Store(g.v.Load())
+		n.gauges[name] = ng
 	}
 	for name, h := range r.hists {
-		n.hists[name] = &Histogram{
-			count: h.count, sum: h.sum, min: h.min, max: h.max,
-			buckets: append([]uint64(nil), h.buckets...),
+		nh := newHistogram()
+		nh.count.Store(h.count.Load())
+		nh.sum.Store(h.sum.Load())
+		nh.min.Store(h.min.Load())
+		nh.max.Store(h.max.Load())
+		for i := range h.buckets {
+			nh.buckets[i].Store(h.buckets[i].Load())
 		}
+		n.hists[name] = nh
 	}
 	return n
 }
@@ -263,15 +322,19 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for name, c := range r.counters {
-		s.Counters[name] = c.v
+		s.Counters[name] = c.v.Load()
 	}
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.v
+		s.Gauges[name] = g.v.Load()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-		for i, n := range h.buckets {
+		mn, mx := h.minMax()
+		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Min: mn, Max: mx}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
 			if n == 0 {
 				continue
 			}

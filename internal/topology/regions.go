@@ -1,0 +1,106 @@
+package topology
+
+// Regions is a fixed decomposition of a topology into contiguous node
+// regions, the unit of intra-machine parallelism for the partitioned
+// simulation engine (internal/sim.Partitioned). The decomposition is a pure
+// function of the topology (never of the worker count), which is what makes
+// partitioned runs bit-identical at any `-partitions` setting: the same
+// regions exist, the same events run on the same region schedulers, and the
+// same inter-region messages merge in the same order whether one thread or
+// eight multiplex the regions.
+type Regions struct {
+	topo  *Topology
+	of    []int // node -> region
+	count int
+	// boundary[link] reports whether the link connects two regions.
+	boundary []bool
+	nBound   int
+}
+
+// PartitionMesh splits a mesh into `target` contiguous horizontal stripes
+// (bands of whole rows), balanced to within one row. Stripes keep every
+// node's row-major neighbors in the same or an adjacent region, so the only
+// inter-region links are the vertical links between adjacent bands —
+// exactly the mesh bisection the conservative lookahead is charged against.
+//
+// target is clamped to [1, h]. Non-mesh topologies always yield a single
+// region (no intra-machine parallelism; the hypercube's bisection is too
+// rich for stripe partitioning to help).
+func PartitionMesh(t *Topology, target int) *Regions {
+	r := &Regions{
+		topo:     t,
+		of:       make([]int, t.Routers()),
+		count:    1,
+		boundary: make([]bool, len(t.Links())),
+	}
+	if t.Kind() != KindMesh {
+		return r
+	}
+	w, h := t.MeshSize()
+	if target < 1 {
+		target = 1
+	}
+	if target > h {
+		target = h
+	}
+	r.count = target
+	// Row y belongs to stripe y*target/h: contiguous, balanced to one row.
+	for y := 0; y < h; y++ {
+		reg := y * target / h
+		for x := 0; x < w; x++ {
+			r.of[y*w+x] = reg
+		}
+	}
+	for id, l := range t.Links() {
+		if r.of[l.A] != r.of[l.B] {
+			r.boundary[id] = true
+			r.nBound++
+		}
+	}
+	return r
+}
+
+// maxAutoRegions bounds the automatic decomposition: more stripes mean more
+// available parallelism but also more barrier-merge work per window, and
+// past ~16 regions the merge overhead outgrows what host cores can use.
+const maxAutoRegions = 16
+
+// AutoRegions returns the standard decomposition for t: up to
+// maxAutoRegions row stripes for meshes, a single region otherwise. This is
+// the decomposition the machine layer uses for every partitioned run, so it
+// must stay a pure function of the topology.
+func AutoRegions(t *Topology) *Regions {
+	if t.Kind() != KindMesh {
+		return PartitionMesh(t, 1)
+	}
+	_, h := t.MeshSize()
+	n := h
+	if n > maxAutoRegions {
+		n = maxAutoRegions
+	}
+	return PartitionMesh(t, n)
+}
+
+// Count returns the number of regions.
+func (r *Regions) Count() int { return r.count }
+
+// Of returns node n's region.
+func (r *Regions) Of(n int) int { return r.of[n] }
+
+// CrossRegion reports whether link id connects two regions.
+func (r *Regions) CrossRegion(id int) bool { return r.boundary[id] }
+
+// BoundaryLinks returns the number of inter-region links.
+func (r *Regions) BoundaryLinks() int { return r.nBound }
+
+// Topology returns the partitioned topology.
+func (r *Regions) Topology() *Topology { return r.topo }
+
+// NewMesh32x32 returns the 1024-node mesh preset used by the partitioned
+// scaling scenario (three orders of magnitude beyond the paper's largest
+// measured machine).
+func NewMesh32x32() *Topology { return NewMesh(32, 32) }
+
+// NewMesh64x64 returns the 4096-node mesh preset, the TSAR-class size the
+// smoke-level scaling test builds and routes.
+func NewMesh64x64() *Topology { return NewMesh(64, 64) }

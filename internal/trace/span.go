@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"sort"
+
 	"flashfc/internal/sim"
 )
 
@@ -185,14 +187,42 @@ func (t *Tracer) Spans() []Span {
 	return append([]Span(nil), t.spans...)
 }
 
-// Points returns a copy of the point list in recording order.
+// Points returns a copy of the point list — in recording order, or sorted
+// by the full field tuple on a Deterministic tracer (concurrent region
+// workers make recording order scheduling noise; the full-tuple sort makes
+// equal points interchangeable, so the result is host-independent).
 func (t *Tracer) Points() []Point {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Point(nil), t.points...)
+	out := append([]Point(nil), t.points...)
+	if t.Deterministic {
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.T != b.T {
+				return a.T < b.T
+			}
+			if a.Node != b.Node {
+				return a.Node < b.Node
+			}
+			if a.Cat != b.Cat {
+				return a.Cat < b.Cat
+			}
+			if a.Name != b.Name {
+				return a.Name < b.Name
+			}
+			if a.Flow != b.Flow {
+				return a.Flow < b.Flow
+			}
+			if a.A != b.A {
+				return a.A < b.A
+			}
+			return a.B < b.B
+		})
+	}
+	return out
 }
 
 // SnapshotSpans returns the span list with every still-open span closed at

@@ -56,6 +56,19 @@ type Tracer struct {
 	// events have been recorded is unsupported.
 	Limit int
 
+	// Deterministic, set at construction, makes every read-side ordering a
+	// pure function of the recorded values: events and points sort by all
+	// of their fields instead of keeping insertion order among equal
+	// timestamps. Partitioned machines record from concurrent region
+	// workers, so their insertion order is scheduling noise; sorting by
+	// the full tuple makes equal entries interchangeable and the exported
+	// bytes bit-identical at any worker count. Classic single-threaded
+	// machines leave this off and keep the historical insertion-order
+	// tiebreak (golden traces depend on it). A deterministic tracer should
+	// use Limit 0: ring-buffer eviction is insertion-ordered and would
+	// reintroduce the noise.
+	Deterministic bool
+
 	mu      sync.Mutex
 	events  []Event
 	head    int // index of the oldest retained event once the ring is full
@@ -120,7 +133,23 @@ func (t *Tracer) retained() []Event {
 func (t *Tracer) chronological() []Event {
 	if t.sorted == nil {
 		t.sorted = t.retained()
-		sort.SliceStable(t.sorted, func(i, j int) bool { return t.sorted[i].T < t.sorted[j].T })
+		if t.Deterministic {
+			sort.Slice(t.sorted, func(i, j int) bool {
+				a, b := t.sorted[i], t.sorted[j]
+				if a.T != b.T {
+					return a.T < b.T
+				}
+				if a.Node != b.Node {
+					return a.Node < b.Node
+				}
+				if a.Kind != b.Kind {
+					return a.Kind < b.Kind
+				}
+				return a.Detail < b.Detail
+			})
+		} else {
+			sort.SliceStable(t.sorted, func(i, j int) bool { return t.sorted[i].T < t.sorted[j].T })
+		}
 	}
 	return t.sorted
 }
