@@ -5,6 +5,9 @@
 //	flashsim -nodes 8 -fault loop -mem 1048576 -l2 1048576 -trace
 //	flashsim -nodes 16 -fault powerloss        (§4.1 compound fault)
 //	flashsim -nodes 16 -fault cablecut
+//	flashsim -nodes 16 -fault transient-link   (degradation classes: healing
+//	flashsim -nodes 16 -fault fail-slow         link, slow MAGIC engine,
+//	flashsim -nodes 16 -fault cpu-fail          CPU dies but memory survives)
 //	flashsim -fault router -runs 100 -parallel 8   (multi-seed campaign)
 //	flashsim -nodes 4 -fault node -metrics-json | jq .counters
 //	flashsim -nodes 4 -fault node -trace-json trace.json   (Perfetto spans)
@@ -61,7 +64,7 @@ func main() {
 	nodes := flag.Int("nodes", 8, "number of nodes")
 	topo := flag.String("topo", "mesh", "topology: mesh or hypercube")
 	faultName := flag.String("fault", "node",
-		"fault: node, router, link, loop, false-alarm, powerloss, cablecut, boundary-link, none")
+		"fault: node, router, link, loop, false-alarm, transient-link, fail-slow, cpu-fail, powerloss, cablecut, boundary-link, none")
 	mem := flag.Uint64("mem", 256<<10, "memory bytes per node")
 	l2 := flag.Uint64("l2", 64<<10, "L2 cache bytes")
 	fill := flag.Int("fill", 192, "cache-fill lines per node")
@@ -120,6 +123,12 @@ func main() {
 		ft = flashfc.InfiniteLoop
 	case "false-alarm":
 		ft = flashfc.FalseAlarm
+	case "transient-link":
+		ft = flashfc.TransientLink
+	case "fail-slow":
+		ft = flashfc.FailSlow
+	case "cpu-fail":
+		ft = flashfc.CPUFail
 	default:
 		fmt.Fprintf(os.Stderr, "unknown fault %q\n", *faultName)
 		exit(2)
@@ -315,7 +324,7 @@ func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, topts tr
 	switch kind {
 	case "powerloss":
 		a := cfg.Nodes / 2
-		fs = flashfc.PowerLoss([]int{a, a + 1})
+		fs = flashfc.PowerLoss(m, []int{a, a + 1})
 	case "cablecut":
 		fs = flashfc.CableCut(m, 0)
 	}

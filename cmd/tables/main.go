@@ -2,6 +2,7 @@
 //
 //	tables -table 5.3 [-runs 200] [-seed 1] [-workers N]
 //	tables -table 5.4 [-runs 1187] [-legacy-bug] [-seed 1] [-workers N]
+//	tables -table tail [-runs 1000] [-seed 1] [-workers N]
 //
 // Table 5.3 (validation): stand-alone cache-fill runs per fault type; the
 // paper reports 200 runs per type with zero failures.
@@ -9,6 +10,13 @@
 // Table 5.4 (end-to-end): Hive parallel-make runs per fault type; the paper
 // reports 1187 runs with 99 failures (8.4%), all caused by OS bugs in the
 // handling of incoherent lines — reenable them with -legacy-bug.
+//
+// Table tail (containment-time tail): warm-forked validation runs of the
+// degradation fault classes — transient-link, fail-slow, CPU-fail/memory-
+// survives — reduced to p50/p99/p999 containment time plus the fraction of
+// the machine each fault cost. A p999 printed with a trailing * rests on
+// interpolation rather than a real observation (run count too small); use
+// -full (1000 runs per scenario) for a supported tail.
 //
 // Each table is a sequence of campaigns, one per fault type, run through
 // the Campaign API: runs within a campaign are independent simulations,
@@ -25,10 +33,11 @@ import (
 
 	"flashfc"
 	"flashfc/internal/cliflags"
+	"flashfc/internal/stats"
 )
 
 func main() {
-	table := flag.String("table", "5.3", "table to regenerate: 5.3 or 5.4")
+	table := flag.String("table", "5.3", "table to regenerate: 5.3, 5.4, or tail")
 	legacy := flag.Bool("legacy-bug", false, "reenable the paper's incoherent-line OS bugs (5.4)")
 	full := flag.Bool("full", false, "paper-scale run counts (200/type for 5.3; ~300/type for 5.4)")
 	cf := cliflags.Register(flag.CommandLine, cliflags.Defaults{Runs: 0})
@@ -52,6 +61,14 @@ func main() {
 			}
 		}
 		table54(cf, *legacy)
+	case "tail":
+		if cf.Runs == 0 {
+			cf.Runs = 50
+			if *full {
+				cf.Runs = flashfc.DefaultTailRuns
+			}
+		}
+		tableTail(cf)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
@@ -88,6 +105,43 @@ func table53(cf *cliflags.Flags) {
 	fmt.Printf("\npaper: 200 runs per type, 0 failures; this run: %d total failures\n", bad)
 	fmt.Printf("throughput: %v\n", total)
 	emitCampaignMetrics(snaps, cf.Metrics)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// tableTail runs the containment-time tail campaign over the degradation
+// fault classes and renders the percentile table.
+func tableTail(cf *cliflags.Flags) {
+	fmt.Printf("Containment-time tail — degradation fault classes (%d runs per scenario)\n\n", cf.Runs)
+	cfg := flashfc.DefaultTailConfig()
+	cfg.Runs = cf.Runs
+	cfg.Workers = cf.Workers
+	cfg.Partitions = cf.Partitions
+	cfg.RegionLinkExtra = flashfc.Time(cf.RegionExtra)
+	if !cf.WarmStart {
+		cfg.WarmStart = flashfc.WarmStartOff
+	}
+	res := flashfc.RunTailCampaign(cfg, cf.Seed)
+	t := stats.NewTable("Fault scenario", "runs", "failed", "p50", "p99", "p999", "affected")
+	bad := 0
+	interp := false
+	for _, sc := range res.Scenarios {
+		p999 := sc.P999.String()
+		if !sc.TailOK {
+			p999 += " *"
+			interp = true
+		}
+		t.AddRow(sc.Fault.String(), fmt.Sprint(sc.Runs), fmt.Sprint(sc.Failed),
+			sc.P50.String(), sc.P99.String(), p999,
+			fmt.Sprintf("%.1f%% of machine", 100*sc.Affected.Mean))
+		bad += sc.Failed
+	}
+	fmt.Print(t)
+	if interp {
+		fmt.Println("\n* p999 interpolated, not supported by a real observation; rerun with -full")
+	}
+	fmt.Printf("\nthroughput: %v\n", res.Stats)
 	if bad > 0 {
 		os.Exit(1)
 	}

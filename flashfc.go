@@ -126,15 +126,22 @@ const (
 	LinkFailure   = fault.LinkFailure
 	InfiniteLoop  = fault.InfiniteLoop
 	FalseAlarm    = fault.FalseAlarm
+	TransientLink = fault.TransientLink
+	FailSlow      = fault.FailSlow
+	CPUFail       = fault.CPUFail
 )
 
-// AllFaultTypes lists the injectable fault classes.
+// AllFaultTypes lists the injectable fail-stop fault classes (Table 5.2).
 func AllFaultTypes() []FaultType { return fault.AllTypes() }
+
+// ExtendedFaultTypes lists the non-fail-stop classes beyond Table 5.2:
+// transient-link, fail-slow, and CPU-fail/memory-survives.
+func ExtendedFaultTypes() []FaultType { return fault.ExtendedTypes() }
 
 // PowerLoss builds the compound fault for a partial power-supply failure:
 // each listed node loses its controller, memory, router and links (§4.1).
 // Inject with Machine.InjectAll.
-func PowerLoss(nodes []int) []Fault { return fault.PowerLoss(nodes) }
+func PowerLoss(m *Machine, nodes []int) []Fault { return fault.PowerLoss(m.Topo, nodes) }
 
 // CableCut builds the compound fault for a disconnected inter-cabinet
 // cable: every mesh link crossing between column x and x+1 fails (§4.1).
@@ -328,7 +335,19 @@ type (
 	PartitionConfig = experiments.PartitionConfig
 	// PartitionResult is one partitioned fill run.
 	PartitionResult = experiments.PartitionResult
+	// TailConfig shapes a containment-time tail campaign over the
+	// degradation fault classes.
+	TailConfig = experiments.TailConfig
+	// TailScenario aggregates one fault class's tail campaign: p50/p99/p999
+	// containment time plus the affected fraction of the machine.
+	TailScenario = experiments.TailScenario
+	// TailResult is a full tail campaign.
+	TailResult = experiments.TailResult
 )
+
+// DefaultTailRuns is the default per-scenario run count of a tail campaign:
+// enough observations that the p999 rests on a real one.
+const DefaultTailRuns = experiments.DefaultTailRuns
 
 // Warm-start modes (see WarmStartMode).
 const (
@@ -359,6 +378,20 @@ const StreamWarmup = runner.StreamWarmup
 // RunValidation performs one §5.2 validation run.
 func RunValidation(cfg ValidationConfig, ft FaultType, seed int64) *ValidationResult {
 	return experiments.Validation(cfg, ft, seed)
+}
+
+// DefaultTailConfig returns the default tail-campaign setup: the validation
+// machine with DefaultTailRuns warm-forked runs per degradation scenario.
+func DefaultTailConfig() TailConfig { return experiments.DefaultTailConfig() }
+
+// RunTailCampaign measures the containment-time tail of the degradation
+// fault classes (transient-link, fail-slow, CPU-fail/memory-survives):
+// cfg.Runs warm-forked validation runs per class reduced to p50/p99/p999
+// containment time plus the affected fraction of the machine. Results are
+// bit-identical for any worker count, any Partitions value, and warm-start
+// on or off.
+func RunTailCampaign(cfg TailConfig, seed int64) *TailResult {
+	return experiments.TailCampaign(cfg, seed)
 }
 
 // DefaultPartitionConfig returns the 1024-node partitioned scaling scenario.

@@ -100,6 +100,12 @@ type Config struct {
 	// unit contains a failed component shuts down after P4 (§3.3, §4.3).
 	// nil means every node is its own unit.
 	FailureUnits []int
+	// MemServes reports whether a down node's memory/directory bank still
+	// answers coherence requests (the CPU-fail/memory-survives model): its
+	// processor died but MAGIC keeps serving the home bank. Such a node is
+	// marked memory-reachable instead of being isolated, so survivors can
+	// salvage clean lines homed there. nil means never.
+	MemServes func(node int) bool
 	// L2ChargeLines is the number of cache lines the flush loop iterates
 	// (the full configured L2 size; Fig 5.6 left).
 	L2ChargeLines int

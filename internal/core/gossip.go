@@ -212,13 +212,20 @@ func (a *Agent) finishDissemination() {
 		units := a.cfg.FailureUnits
 		a.doomed = units != nil && failedUnit[units[a.ID]]
 		// Node map: failed nodes and doomed-unit members are marked
-		// down so that no new coherence requests target them.
+		// down so that no new coherence requests target them. A down
+		// node whose memory bank interrogates as still served (the
+		// CPU-fail/memory-survives model) is additionally marked
+		// memory-reachable, so clean lines homed there stay readable
+		// instead of bus-erroring.
 		for i := 0; i < a.Topo.Routers(); i++ {
 			up := a.st.Nodes[i] == triUp
 			if up && units != nil && failedUnit[units[i]] {
 				up = false
 			}
 			a.Ctrl.SetNodeUp(i, up)
+			memSrv := !up && a.st.Routers[i] == triUp &&
+				a.cfg.MemServes != nil && a.cfg.MemServes(i)
+			a.Ctrl.SetMemReachable(i, memSrv)
 		}
 		a.report.P2End = a.E.Now()
 		a.startInterconnectRecovery()

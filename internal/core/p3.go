@@ -28,6 +28,14 @@ func (a *Agent) startInterconnectRecovery() {
 		if a.ID == a.root {
 			for r := 0; r < a.Topo.Routers(); r++ {
 				if a.st.Routers[r] == triUp && a.st.Nodes[r] != triUp {
+					// A dead node whose memory bank still serves requests
+					// (CPU-fail/memory-survives) keeps local delivery: its
+					// MAGIC must go on fielding coherence traffic for the
+					// home bank. Its router table is still reprogrammed by
+					// the root below.
+					if a.cfg.MemServes != nil && a.cfg.MemServes(r) {
+						continue
+					}
 					a.isolateRouter(r)
 					a.Net.SetDiscardLocal(r, true)
 				}

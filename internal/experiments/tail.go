@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"sort"
+
+	"flashfc/internal/fault"
+	"flashfc/internal/runner"
+	"flashfc/internal/sim"
+	"flashfc/internal/stats"
+)
+
+// Tail analysis for the degradation fault models: the fail-stop classes of
+// Table 5.3 have recovery times that barely spread (the BFT bound dominates
+// everything), but transient links, fail-slow engines, and CPU-fail/
+// memory-survives interact with in-flight state, so their containment time
+// has a tail worth measuring. A TailCampaign runs 1000+ warm-forked seeds
+// per scenario and reports the p50/p99/p999 containment time plus how much
+// of the machine each fault cost.
+
+// TailConfig shapes a tail campaign.
+type TailConfig struct {
+	ValidationConfig
+	// Runs is the number of warm-forked runs per scenario; 0 defaults to
+	// DefaultTailRuns (enough observations that the p999 is supported by a
+	// real observation, see stats.TailReliable).
+	Runs int
+	// Faults selects the scenarios; nil runs fault.ExtendedTypes().
+	Faults []fault.Type
+}
+
+// DefaultTailRuns is the default per-scenario run count: with 1000 runs the
+// p999 rests on the single largest observation rather than interpolation.
+const DefaultTailRuns = 1000
+
+// DefaultTailConfig returns the default tail-campaign setup: the validation
+// machine with DefaultTailRuns per scenario.
+func DefaultTailConfig() TailConfig {
+	return TailConfig{ValidationConfig: DefaultValidationConfig(), Runs: DefaultTailRuns}
+}
+
+// TailScenario aggregates one fault class's tail campaign.
+type TailScenario struct {
+	Fault  fault.Type
+	Runs   int
+	Failed int // runs that did not pass ValidationResult.OK
+	// Containment-time percentiles over the passing runs (Phases.Total:
+	// first recovery entry to last node's recovery completion).
+	P50, P99, P999 sim.Time
+	// TailOK reports whether the p999 is supported by at least one real
+	// observation (stats.TailReliable); below that it is interpolation
+	// noise and drivers annotate it.
+	TailOK bool
+	// Affected summarizes the fraction of the machine each run lost
+	// (affected nodes / machine size).
+	Affected stats.Summary
+}
+
+// TailResult is a full tail campaign: one scenario per fault class plus the
+// campaign's host-side throughput accounting.
+type TailResult struct {
+	Scenarios []TailScenario
+	Stats     runner.Stats
+}
+
+// TailCampaign runs the tail analysis: for every requested fault class,
+// cfg.Runs warm-forked validation runs (seeded from runner.StreamTail, so
+// tail campaigns never correlate with Table 5.3 batches at the same base
+// seed) are reduced to containment-time percentiles and the affected
+// fraction. Results are bit-identical for any worker count, any Partitions
+// value, and warm-start on or off, because every run is the shared
+// ValidationFromWarm computation.
+func TailCampaign(cfg TailConfig, seed int64) *TailResult {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = DefaultTailRuns
+	}
+	faults := cfg.Faults
+	if faults == nil {
+		faults = fault.ExtendedTypes()
+	}
+	out := &TailResult{}
+	for _, ft := range faults {
+		sc := TailScenario{Fault: ft, Runs: runs}
+		results, st := tailBatch(cfg.ValidationConfig, ft, runs, seed)
+		var times []float64
+		var affected []float64
+		for _, r := range results {
+			if r.Err != nil || !r.Value.OK() {
+				sc.Failed++
+				continue
+			}
+			times = append(times, float64(r.Value.Phases.Total))
+			affected = append(affected,
+				float64(r.Value.AffectedNodes)/float64(cfg.Nodes))
+		}
+		if len(times) > 0 {
+			sort.Float64s(times)
+			sc.P50 = sim.Time(stats.Percentile(times, 50))
+			sc.P99 = sim.Time(stats.Percentile(times, 99))
+			sc.P999 = sim.Time(stats.Percentile(times, 99.9))
+			sc.TailOK = stats.TailReliable(len(times), 99.9)
+		}
+		sc.Affected = stats.Summarize(affected)
+		out.Stats.Merge(st)
+		out.Scenarios = append(out.Scenarios, sc)
+	}
+	return out
+}
+
+// tailBatch is WarmValidationBatch with the tail campaign's seed stream.
+func tailBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*ValidationResult], runner.Stats) {
+	bcfg := cfg
+	bcfg.Trace = nil
+	warmSeed := runner.DeriveSeed(seed, runner.StreamWarmup, 0)
+	runSeed := func(i int) int64 { return runner.DeriveSeed(seed, runner.StreamTail+int(ft), i) }
+	if bcfg.WarmStart.Enabled() {
+		return runner.CampaignWithSetup(runs, cfg.Workers,
+			func() any { return WarmupValidation(bcfg, warmSeed) },
+			func(i int, ws any, rec *runner.Recorder) *ValidationResult {
+				r := ValidationFromWarm(ws.(*WarmState), ft, runSeed(i), nil)
+				rec.Report(r.Events)
+				return r
+			}, nil)
+	}
+	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *ValidationResult {
+		r := ValidationWarm(bcfg, ft, warmSeed, runSeed(i))
+		rec.Report(r.Events)
+		return r
+	}, nil)
+}

@@ -29,6 +29,11 @@ type ValidationResult struct {
 	// Events is the number of simulated events the run's engine fired;
 	// campaigns aggregate it into events/sec throughput.
 	Events uint64
+	// AffectedNodes is how many nodes the fault cost the machine: the
+	// nodes that did not emerge from recovery as healthy participants
+	// (dead, isolated, or shut down with their failure unit). The tail
+	// campaign reports it as a fraction of the machine.
+	AffectedNodes int
 	// Metrics is the run's machine-wide metric snapshot (always set, even
 	// when recovery fails); campaigns merge and summarize them.
 	Metrics *metrics.Snapshot
@@ -41,8 +46,14 @@ func (r *ValidationResult) OK() bool {
 	if !r.Recovered || r.Verify == nil || !r.Verify.OK() {
 		return false
 	}
-	if r.Fault.Type == fault.FalseAlarm && r.Verify.Incoherent != 0 {
-		return false
+	switch r.Fault.Type {
+	case fault.FalseAlarm, fault.FailSlow:
+		// Nothing died and no link dropped traffic: recovery must not
+		// have cost a single line. (A fail-slow engine still fields every
+		// data-carrying message — slowly — so losses would be a bug.)
+		if r.Verify.Incoherent != 0 {
+			return false
+		}
 	}
 	return true
 }
@@ -146,15 +157,15 @@ func Validation(cfg ValidationConfig, ft fault.Type, seed int64) *ValidationResu
 		// now and provoke detection with one remote read.
 		m.Inject(f)
 	}
-	kick := detectionVictim(m, f)
-	m.Nodes[0].CPU.Submit(workload.TouchOp(m, kick))
+	reader := driveDetection(m, f)
 	res.Recovered = m.RunUntilRecovered(cfg.Deadline)
 	if !res.Recovered {
 		res.Note = fmt.Sprintf("recovery incomplete after %v", cfg.Deadline)
 		return res
 	}
 	res.Phases = m.Aggregate()
-	res.Verify = m.VerifyMemory(0, cfg.Stride)
+	res.AffectedNodes = affectedNodes(m)
+	res.Verify = m.VerifyMemory(reader, cfg.Stride)
 	if !res.Verify.OK() {
 		res.Note = res.Verify.String()
 	}
@@ -164,16 +175,41 @@ func Validation(cfg ValidationConfig, ft fault.Type, seed int64) *ValidationResu
 // detectionVictim picks an address whose access will notice the fault.
 func detectionVictim(m *machine.Machine, f fault.Fault) int {
 	switch f.Type {
-	case fault.NodeFailure, fault.InfiniteLoop:
+	case fault.NodeFailure, fault.InfiniteLoop, fault.FailSlow, fault.CPUFail:
 		return f.Node
 	case fault.RouterFailure:
 		return f.Router
-	case fault.LinkFailure:
-		// Touch the memory of the link's far end from node 0.
+	case fault.LinkFailure, fault.TransientLink:
+		// Touch the memory of the link's far end.
 		return m.Topo.Links()[f.Link].B
 	default:
 		return m.Cfg.Nodes - 1
 	}
+}
+
+// driveDetection submits the detection read from the lowest-id survivor.
+// Node 0 is the usual driver, but de-skewed victim selection means router 0
+// (and with it node 0) can be the casualty, so the kicker must be chosen
+// from ground truth.
+func driveDetection(m *machine.Machine, f fault.Fault) int {
+	s := m.Survivors()
+	if len(s) == 0 {
+		return -1
+	}
+	m.Nodes[s[0]].CPU.Submit(workload.TouchOp(m, detectionVictim(m, f)))
+	return s[0]
+}
+
+// affectedNodes counts the nodes the fault cost the machine once recovery
+// completed: everything that did not report back healthy.
+func affectedNodes(m *machine.Machine) int {
+	healthy := 0
+	for _, r := range m.Reports() {
+		if !r.ShutDown && !r.Isolated {
+			healthy++
+		}
+	}
+	return m.Cfg.Nodes - healthy
 }
 
 // Table53Row aggregates a batch of validation runs for one fault type.

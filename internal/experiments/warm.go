@@ -126,15 +126,15 @@ func ValidationFromWarm(ws *WarmState, ft fault.Type, runSeed int64, tr *trace.T
 	if !injected {
 		m.Inject(f)
 	}
-	kick := detectionVictim(m, f)
-	m.Nodes[0].CPU.Submit(workload.TouchOp(m, kick))
+	reader := driveDetection(m, f)
 	res.Recovered = m.RunUntilRecovered(deadline)
 	if !res.Recovered {
 		res.Note = fmt.Sprintf("recovery incomplete after %v", cfg.Deadline)
 		return res
 	}
 	res.Phases = m.Aggregate()
-	res.Verify = m.VerifyMemory(0, cfg.Stride)
+	res.AffectedNodes = affectedNodes(m)
+	res.Verify = m.VerifyMemory(reader, cfg.Stride)
 	if !res.Verify.OK() {
 		res.Note = res.Verify.String()
 	}

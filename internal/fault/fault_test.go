@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"flashfc/internal/sim"
 	"flashfc/internal/topology"
 )
 
@@ -12,12 +13,25 @@ import (
 type recorder struct {
 	killed, looped, alarmed []int
 	routers, links          []int
+	degraded                []int
+	windows                 []sim.Time
+	slowed, factors         []int
+	cpuKilled               []int
 }
 
-func (r *recorder) KillNode(id int)   { r.killed = append(r.killed, id) }
-func (r *recorder) LoopNode(id int)   { r.looped = append(r.looped, id) }
-func (r *recorder) FailRouter(x int)  { r.routers = append(r.routers, x) }
-func (r *recorder) FailLink(l int)    { r.links = append(r.links, l) }
+func (r *recorder) KillNode(id int)  { r.killed = append(r.killed, id) }
+func (r *recorder) LoopNode(id int)  { r.looped = append(r.looped, id) }
+func (r *recorder) FailRouter(x int) { r.routers = append(r.routers, x) }
+func (r *recorder) FailLink(l int)   { r.links = append(r.links, l) }
+func (r *recorder) DegradeLink(l int, w sim.Time) {
+	r.degraded = append(r.degraded, l)
+	r.windows = append(r.windows, w)
+}
+func (r *recorder) SlowNode(id, factor int) {
+	r.slowed = append(r.slowed, id)
+	r.factors = append(r.factors, factor)
+}
+func (r *recorder) KillCPU(id int)    { r.cpuKilled = append(r.cpuKilled, id) }
 func (r *recorder) FalseAlarm(id int) { r.alarmed = append(r.alarmed, id) }
 
 func TestApplyDispatch(t *testing.T) {
@@ -44,6 +58,27 @@ func TestApplyDispatch(t *testing.T) {
 	}
 }
 
+func TestApplyDispatchExtended(t *testing.T) {
+	rec := &recorder{}
+	Fault{Type: TransientLink, Link: 2}.Apply(rec)
+	Fault{Type: TransientLink, Link: 3, Window: 5 * sim.Microsecond}.Apply(rec)
+	Fault{Type: FailSlow, Node: 4}.Apply(rec)
+	Fault{Type: FailSlow, Node: 5, Factor: 10}.Apply(rec)
+	Fault{Type: CPUFail, Node: 6}.Apply(rec)
+	if len(rec.degraded) != 2 || rec.degraded[0] != 2 || rec.degraded[1] != 3 {
+		t.Errorf("degraded = %v", rec.degraded)
+	}
+	if rec.windows[0] != DefaultTransientWindow || rec.windows[1] != 5*sim.Microsecond {
+		t.Errorf("windows = %v", rec.windows)
+	}
+	if len(rec.slowed) != 2 || rec.factors[0] != DefaultSlowFactor || rec.factors[1] != 10 {
+		t.Errorf("slowed = %v factors = %v", rec.slowed, rec.factors)
+	}
+	if len(rec.cpuKilled) != 1 || rec.cpuKilled[0] != 6 {
+		t.Errorf("cpuKilled = %v", rec.cpuKilled)
+	}
+}
+
 func TestAllTypesAndStrings(t *testing.T) {
 	types := AllTypes()
 	if len(types) != 5 {
@@ -57,12 +92,18 @@ func TestAllTypesAndStrings(t *testing.T) {
 	if Type(99).String() == "" {
 		t.Fatal("unknown type name empty")
 	}
+	if ext := ExtendedTypes(); len(ext) != 3 {
+		t.Fatalf("ExtendedTypes = %v", ext)
+	}
 	for _, f := range []Fault{
 		{Type: NodeFailure, Node: 1},
 		{Type: RouterFailure, Router: 2},
 		{Type: LinkFailure, Link: 3},
 		{Type: InfiniteLoop, Node: 4},
 		{Type: FalseAlarm, Node: 5},
+		{Type: TransientLink, Link: 6},
+		{Type: FailSlow, Node: 7},
+		{Type: CPUFail, Node: 8},
 	} {
 		if f.String() == "" {
 			t.Fatalf("empty fault string for %v", f.Type)
@@ -71,24 +112,26 @@ func TestAllTypesAndStrings(t *testing.T) {
 }
 
 // Property: Random never victimizes a spared node with node-class faults,
-// and always picks valid victims.
+// picks link/router victims uniformly without the spare shield, and always
+// picks valid victims.
 func TestQuickRandomRespectsSpare(t *testing.T) {
 	topo := topology.NewMesh(4, 4)
 	f := func(seed int64, spare uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		sp := int(spare) % 4
-		for _, ty := range AllTypes() {
+		for _, ty := range append(AllTypes(), ExtendedTypes()...) {
 			fl := Random(rng, ty, topo, sp)
 			switch ty {
-			case NodeFailure, InfiniteLoop, FalseAlarm:
+			case NodeFailure, InfiniteLoop, FalseAlarm, FailSlow, CPUFail:
 				if fl.Node < sp || fl.Node >= topo.Routers() {
 					return false
 				}
 			case RouterFailure:
-				if fl.Router < sp || fl.Router >= topo.Routers() {
+				// De-skewed: no spare shield on routers.
+				if fl.Router < 0 || fl.Router >= topo.Routers() {
 					return false
 				}
-			case LinkFailure:
+			case LinkFailure, TransientLink:
 				if fl.Link < 0 || fl.Link >= len(topo.Links()) {
 					return false
 				}
@@ -101,17 +144,34 @@ func TestQuickRandomRespectsSpare(t *testing.T) {
 	}
 }
 
-func TestRandomDegenerateSpare(t *testing.T) {
-	topo := topology.NewMesh(2, 1)
-	rng := rand.New(rand.NewSource(1))
-	f := Random(rng, NodeFailure, topo, 5) // spare >= nodes
-	if f.Node != 1 {
-		t.Fatalf("degenerate spare should pick the last node, got %d", f.Node)
+// Router victims must cover the full id range, including routers of spared
+// nodes — the old spare-offset selection could never fail router 0.
+func TestRandomRouterDeskewed(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	rng := rand.New(rand.NewSource(42))
+	seen := map[int]bool{}
+	for i := 0; i < 512; i++ {
+		seen[Random(rng, RouterFailure, topo, 1).Router] = true
+	}
+	if !seen[0] {
+		t.Fatal("router 0 never chosen: spare skew still present")
 	}
 }
 
+func TestRandomDegenerateSparePanics(t *testing.T) {
+	topo := topology.NewMesh(2, 1)
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("spare >= nodes should panic, not silently pick the last node")
+		}
+	}()
+	Random(rng, NodeFailure, topo, 5)
+}
+
 func TestPowerLossCompound(t *testing.T) {
-	fs := PowerLoss([]int{3, 7})
+	topo := topology.NewMesh(4, 2)
+	fs := PowerLoss(topo, []int{3, 7})
 	if len(fs) != 4 {
 		t.Fatalf("faults = %d, want 4", len(fs))
 	}
@@ -122,7 +182,7 @@ func TestPowerLossCompound(t *testing.T) {
 	if len(rec.killed) != 2 || len(rec.routers) != 2 {
 		t.Fatalf("killed=%v routers=%v", rec.killed, rec.routers)
 	}
-	if rec.killed[0] != 3 || rec.routers[1] != 7 {
+	if rec.killed[0] != 3 || rec.routers[0] != topo.RouterOf(3) || rec.routers[1] != topo.RouterOf(7) {
 		t.Fatalf("victims wrong: %v %v", rec.killed, rec.routers)
 	}
 }

@@ -156,6 +156,8 @@ type Network struct {
 	mTruncated   *metrics.Counter
 	mBlackholed  *metrics.Counter
 	mStalls      *metrics.Counter
+	mTransient   *metrics.Counter
+	mLinkHeals   *metrics.Counter
 
 	// flowSeq numbers packets as they are injected; the sequence doubles
 	// as the trace flow id and as a deterministic order for packets
@@ -253,6 +255,8 @@ func New(e *sim.Engine, topo *topology.Topology, cfg Config) *Network {
 	n.mTruncated = cfg.Metrics.Counter("interconnect.truncated_packets")
 	n.mBlackholed = cfg.Metrics.Counter("interconnect.blackholed_packets")
 	n.mStalls = cfg.Metrics.Counter("interconnect.backpressure_stalls")
+	n.mTransient = cfg.Metrics.Counter("interconnect.transient_link_windows")
+	n.mLinkHeals = cfg.Metrics.Counter("interconnect.link_heals")
 	tables := topology.DefaultTables(topo)
 	for r := range n.routers {
 		deg := topo.Degree(r)
@@ -394,6 +398,46 @@ func (n *Network) FailLink(l int) {
 		n.mTruncated.Inc()
 		n.tracePkt("truncate", target[pkt], pkt)
 		n.lost(pkt)
+	}
+}
+
+// FailLinkTransient makes link l misbehave exactly like a failed link —
+// the in-flight packets are truncated, later traversals are black-holed —
+// but only for the given window of simulated time, after which the link
+// heals and carries traffic normally again. No-op if the link is already
+// down (a transient fault on a dead link adds nothing). The heal event is
+// scheduled on the engine of the link's A-side region, which keeps the
+// window deterministic at any partition worker count once injection has
+// forced global interleaving.
+func (n *Network) FailLinkTransient(l int, window sim.Time) {
+	if !n.linkUp[l] {
+		return
+	}
+	n.mTransient.Inc()
+	n.FailLink(l)
+	lk := n.Topo.Links()[l]
+	n.eng(lk.A).After(window, func() { n.healLink(l) })
+}
+
+// healLink restores a link downed by a transient window and restarts
+// service on its sending channels in both directions. Packets queued
+// behind a blocked head survive the window intact; everything that tried
+// to traverse the link while it was down is already accounted as lost.
+func (n *Network) healLink(l int) {
+	if n.linkUp[l] {
+		return
+	}
+	n.linkUp[l] = true
+	n.mLinkHeals.Inc()
+	lk := n.Topo.Links()[l]
+	for _, r := range [2]int{lk.A, lk.B} {
+		p := n.Topo.PortTo(r, lk.A+lk.B-r)
+		if p < 0 || n.routers[r].failed {
+			continue
+		}
+		for _, ch := range n.routers[r].chans[p] {
+			n.kick(ch)
+		}
 	}
 }
 

@@ -31,7 +31,7 @@ func TestPowerLossRegionRecovery(t *testing.T) {
 	write(5, uint64(m.Space.Base(2))+0x100) // dirty line that dies with node 5
 	write(1, uint64(m.Space.Base(6))+0x100) // line homed in the dead region
 	m.E.Run()
-	m.InjectAll(fault.PowerLoss([]int{5, 6}))
+	m.InjectAll(fault.PowerLoss(m.Topo, []int{5, 6}))
 	m.Nodes[1].CPU.Submit(readOp(m, uint64(m.Space.Base(5))+0x80))
 	if !m.RunUntilRecovered(5 * sim.Second) {
 		t.Fatalf("recovery incomplete: %d/%d", len(m.reports), len(m.expecting))

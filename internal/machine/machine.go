@@ -18,6 +18,7 @@ import (
 	"flashfc/internal/metrics"
 	"flashfc/internal/proc"
 	"flashfc/internal/sim"
+	"flashfc/internal/timing"
 	"flashfc/internal/topology"
 	"flashfc/internal/trace"
 )
@@ -137,6 +138,11 @@ type Machine struct {
 	// actually injected), independent of what the algorithm discovers.
 	truth    *topology.View
 	ctrlDead map[int]bool // controllers killed or wedged
+	// memSurvives marks nodes whose processor complex died but whose
+	// MAGIC and memory/directory bank still serve coherence traffic (the
+	// CPU-fail/memory-survives model). Such nodes are dead for recovery
+	// participation but stay addressable as homes.
+	memSurvives map[int]bool
 
 	reports   map[int]*core.Report
 	expecting map[int]bool
@@ -252,12 +258,13 @@ func build(cfg Config, snap *Snapshot) *Machine {
 	space := coherence.AddrSpace{Nodes: cfg.Nodes, MemBytes: cfg.MemBytes, VectorTop: cfg.VectorTop}
 	m := &Machine{
 		Cfg: cfg, E: e, Topo: topo, P: P, Regions: regions, Net: net, Space: space,
-		Oracle:    oracle,
-		Metrics:   reg,
-		truth:     topology.NewView(topo),
-		ctrlDead:  map[int]bool{},
-		reports:   map[int]*core.Report{},
-		expecting: map[int]bool{},
+		Oracle:      oracle,
+		Metrics:     reg,
+		truth:       topology.NewView(topo),
+		ctrlDead:    map[int]bool{},
+		memSurvives: map[int]bool{},
+		reports:     map[int]*core.Report{},
+		expecting:   map[int]bool{},
 	}
 	net.OnLost = m.Oracle.PacketLost
 	cfg.Magic.Metrics = reg
@@ -268,6 +275,7 @@ func build(cfg Config, snap *Snapshot) *Machine {
 	rcfg.Trace = cfg.Trace
 	rcfg.ReliableInterconnect = rcfg.ReliableInterconnect || cfg.ReliableInterconnect
 	rcfg.FailureUnits = cfg.FailureUnits
+	rcfg.MemServes = func(n int) bool { return m.memSurvives[n] }
 	rcfg.L2ChargeLines = int(cfg.L2Bytes / 128)
 	rcfg.MemChargeLines = int(cfg.MemBytes / 128)
 	userOnEnter := rcfg.OnEnter
@@ -376,6 +384,88 @@ func (m *Machine) FailLink(l int) {
 func (m *Machine) FalseAlarm(id int) {
 	m.Nodes[id].Agent.Trigger(magic.ReasonFalseAlarm)
 	m.planExpectations()
+}
+
+// DegradeLink implements a transient link fault: the link drops (and
+// truncates in-flight) traffic now and heals after window. Ground truth is
+// left untouched — the hardware is whole again once the window closes — so
+// every node is expected to participate in whatever recovery the dropped
+// traffic provokes, and nothing a healed link carried afterwards may be
+// charged to the fault.
+func (m *Machine) DegradeLink(l int, window sim.Time) {
+	m.Metrics.Counter("machine.links_degraded").Inc()
+	m.Net.FailLinkTransient(l, window)
+	m.planExpectations()
+}
+
+// SlowNode implements the fail-slow fault: node id's MAGIC handler engine
+// keeps running, but every handler occupancy is multiplied by factor. The
+// node never dies — it must remain a full recovery participant — yet its
+// service degradation stalls its own outstanding operations long enough to
+// trip the memory-op timeout, which is how the fault is detected.
+func (m *Machine) SlowNode(id, factor int) {
+	m.Metrics.Counter("machine.nodes_slowed").Inc()
+	m.Nodes[id].Ctrl.SetSlowFactor(factor)
+	m.planExpectations()
+	// The slow node's processor is healthy and drops into recovery itself
+	// once one of its memory operations times out behind the 10-100x
+	// handlers. Modeled as a deterministic trigger one timeout after onset.
+	agent := m.Nodes[id].Agent
+	m.engineOf(id).After(m.detectionDelay(), func() {
+		agent.Trigger(magic.ReasonTimeout)
+	})
+}
+
+// KillCPU implements the CPU-fail/memory-survives fault: node id's
+// processor complex (CPU and caches) dies, but its MAGIC and memory/
+// directory bank keep serving coherence traffic. The node is dead for
+// recovery purposes — it never pongs, and survivors mark it down — but it
+// is not isolated: survivors salvage the clean lines it homes instead of
+// losing the whole bank.
+func (m *Machine) KillCPU(id int) {
+	m.Metrics.Counter("machine.cpu_failures").Inc()
+	m.lostCacheContents(id)
+	m.Nodes[id].CPU.Pause()
+	m.Nodes[id].Cache.Flush() // the cache dies with the processor complex
+	m.Nodes[id].Ctrl.CPUDied()
+	m.Nodes[id].Agent.Kill()
+	m.ctrlDead[id] = true
+	m.memSurvives[id] = true
+	m.planExpectations()
+	// Detection: the victim's MAGIC notices its processor interface died
+	// and signals a surviving neighbor, which starts the recovery wave —
+	// the victim cannot run recovery code on a dead processor.
+	if s := m.Survivors(); len(s) > 0 {
+		agent := m.Nodes[s[0]].Agent
+		m.engineOf(s[0]).After(m.detectionDelay(), func() {
+			agent.Trigger(magic.ReasonCPUDead)
+		})
+	}
+}
+
+// MemSurvives reports whether node id is a CPU-failed node whose memory
+// bank is still served.
+func (m *Machine) MemSurvives(id int) bool { return m.memSurvives[id] }
+
+// engineOf returns the event engine owning node id's region (the machine's
+// single engine on classic builds). Fault injection always forces the
+// deterministic global interleave first, so scheduling on a region engine
+// is partition-safe.
+func (m *Machine) engineOf(id int) *sim.Engine {
+	if m.P != nil {
+		return m.P.Region(m.Regions.Of(id))
+	}
+	return m.E
+}
+
+// detectionDelay is the modeled latency between a degradation fault and its
+// detection trigger: one memory-operation timeout, the containment bound
+// the paper's hardware guarantees (Table 4.1).
+func (m *Machine) detectionDelay() sim.Time {
+	if d := m.Cfg.Magic.MemOpTimeout; d > 0 {
+		return d
+	}
+	return timing.MemOpTimeout
 }
 
 // Inject applies f now. On a partitioned machine it also switches all
@@ -513,12 +603,40 @@ func (m *Machine) agentDone(r *core.Report) {
 	}
 	m.recovered = true
 	m.Cfg.Trace.EndRoot(m.E.Now())
+	m.salvageMemServed()
 	m.observeRecovery()
 	if m.OnAllRecovered != nil {
 		m.OnAllRecovered(m.reports)
 		return
 	}
 	m.ResumeSurvivors()
+}
+
+// salvageMemServed runs the post-recovery sweep over every CPU-failed
+// node's still-served directory bank: the survivors' view is installed as
+// its node map, then a liveness scan marks only the lines entrusted to dead
+// caches incoherent — clean and memory-resident lines are salvaged instead
+// of the blanket inaccessibility a fully dead home would impose.
+func (m *Machine) salvageMemServed() {
+	if len(m.memSurvives) == 0 {
+		return
+	}
+	alive := map[int]bool{}
+	for _, s := range m.Survivors() {
+		alive[s] = true
+	}
+	for v := 0; v < m.Cfg.Nodes; v++ {
+		if !m.memSurvives[v] {
+			continue
+		}
+		ctrl := m.Nodes[v].Ctrl
+		for i := 0; i < m.Cfg.Nodes; i++ {
+			ctrl.SetNodeUp(i, alive[i])
+		}
+		marked := ctrl.ScanDirectoryLiveness()
+		m.Metrics.Counter("machine.salvage_sweeps").Inc()
+		m.Metrics.Counter("machine.salvage_incoherent").Add(uint64(len(marked)))
+	}
 }
 
 // observeRecovery folds one completed machine-wide recovery into the metrics

@@ -62,7 +62,12 @@ func (m *Machine) VerifyMemory(reader int, stride int) *VerifyResult {
 					return
 				}
 				res.Pending--
-				m.classify(res, addr, ctrl.NodeUp(m.Space.Home(addr)), r)
+				home := m.Space.Home(addr)
+				// A home whose processor died but whose memory bank
+				// still answers (CPU-fail/memory-survives) is held to
+				// live-home standards: salvaged clean lines must read
+				// back correctly, not hide behind a blanket bus error.
+				m.classify(res, addr, ctrl.NodeUp(home) || ctrl.MemReachable(home), r)
 			}
 			cpu.Submit(proc.Op{Kind: proc.OpRead, Addr: addr, Done: done})
 		}

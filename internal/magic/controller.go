@@ -67,6 +67,7 @@ const (
 	ReasonTruncated
 	ReasonPing       // dropped into recovery by a neighbor's ping wave
 	ReasonFalseAlarm // operator- or overload-triggered, no actual fault
+	ReasonCPUDead    // a MAGIC signaled that its local processor died
 )
 
 func (r TriggerReason) String() string {
@@ -83,6 +84,8 @@ func (r TriggerReason) String() string {
 		return "recovery ping"
 	case ReasonFalseAlarm:
 		return "false alarm"
+	case ReasonCPUDead:
+		return "processor death signal"
 	default:
 		return "?"
 	}
@@ -210,6 +213,20 @@ type Controller struct {
 
 	mode   Mode
 	nodeUp []bool
+	// memSrv marks nodes that are down in the node map but whose memory/
+	// directory bank is still served by a surviving controller (the
+	// CPU-fail/memory-survives model): coherence traffic to them flows,
+	// even though the node never answers recovery pings.
+	memSrv []bool
+	// slowFactor multiplies every handler's occupancy; 1 is a healthy
+	// engine. The fail-slow fault model raises it to 10-100x without
+	// killing the node. Recovery-lane traffic is unaffected (it bypasses
+	// the handler engine entirely).
+	slowFactor int
+	// cpuDead marks the local processor complex (CPU + caches) as failed
+	// while the controller and memory bank live on: protocol traffic that
+	// needs the dead cache is refused so stale data cannot escape.
+	cpuDead bool
 	// unit is the failure-unit id of every node; uncached operations from
 	// outside the local unit are bus-errored (§3.3). nil disables checks.
 	unit []int
@@ -242,6 +259,7 @@ type Controller struct {
 	mNAKsSent       *metrics.Counter
 	mNAKsReceived   *metrics.Counter
 	mTimeouts       *metrics.Counter
+	mSlowHandlers   *metrics.Counter
 
 	// Pre-bound event callbacks (bound once in New): handler dispatch,
 	// request completion, timeouts and NAK retries schedule without
@@ -259,9 +277,11 @@ func New(e *sim.Engine, net *interconnect.Network, id int, space coherence.AddrS
 	c := &Controller{
 		ID: id, E: e, Net: net, Space: space,
 		Dir: dir, Mem: mem, Cache: cache, cfg: cfg,
-		nodeUp:   make([]bool, space.Nodes),
-		firewall: make(map[coherence.Addr]coherence.NodeSet),
-		mshrs:    make(map[uint64]*mshr),
+		nodeUp:     make([]bool, space.Nodes),
+		memSrv:     make([]bool, space.Nodes),
+		slowFactor: 1,
+		firewall:   make(map[coherence.Addr]coherence.NodeSet),
+		mshrs:      make(map[uint64]*mshr),
 	}
 	c.dispatchFn = c.dispatchEv
 	c.completeFn = c.completeEv
@@ -275,6 +295,7 @@ func New(e *sim.Engine, net *interconnect.Network, id int, space coherence.AddrS
 	c.mNAKsSent = cfg.Metrics.Counter("magic.naks_sent")
 	c.mNAKsReceived = cfg.Metrics.Counter("magic.naks_received")
 	c.mTimeouts = cfg.Metrics.Counter("magic.mem_op_timeouts")
+	c.mSlowHandlers = cfg.Metrics.Counter("magic.slow_handlers")
 	net.SetEndpoint(id, c)
 	return c
 }
@@ -327,6 +348,52 @@ func (c *Controller) SetNodeUp(id int, up bool) { c.nodeUp[id] = up }
 
 // NodeUp reads the node map.
 func (c *Controller) NodeUp(id int) bool { return c.nodeUp[id] }
+
+// SetMemReachable marks a down node's memory/directory bank as still
+// served (the CPU-fail/memory-survives model). Recovery installs it next
+// to the node map after dissemination; clearing the node map entry back to
+// up clears the distinction naturally, since reachable() ORs the two.
+func (c *Controller) SetMemReachable(id int, ok bool) { c.memSrv[id] = ok }
+
+// MemReachable reports whether node id's memory bank is served despite the
+// node being down in the node map.
+func (c *Controller) MemReachable(id int) bool { return c.memSrv[id] }
+
+// reachable reports whether coherence traffic to node id has somewhere to
+// go: the node is up, or its memory bank survived its processor.
+func (c *Controller) reachable(id int) bool { return c.nodeUp[id] || c.memSrv[id] }
+
+// SetSlowFactor degrades (or restores) the handler engine: every handler's
+// occupancy is multiplied by factor. Values below 1 are clamped to 1.
+func (c *Controller) SetSlowFactor(factor int) {
+	if factor < 1 {
+		factor = 1
+	}
+	c.slowFactor = factor
+}
+
+// SlowFactor returns the current handler occupancy multiplier.
+func (c *Controller) SlowFactor() int { return c.slowFactor }
+
+// CPUDied models the CPU-fail/memory-survives fault: the node's processor
+// complex (CPU and caches) fails while the controller and its memory/
+// directory bank keep serving coherence traffic. Outstanding processor-side
+// operations are dropped without completion — their callbacks have nowhere
+// to go — and from here on the protocol handlers refuse any transaction
+// that would need the dead cache (see handleRecall/handleReply), leaving
+// such transactions pending for the requester's containment machinery.
+func (c *Controller) CPUDied() {
+	c.cpuDead = true
+	for _, m := range c.mshrs {
+		m.timeout.Cancel()
+		m.retry.Cancel()
+	}
+	c.mshrs = make(map[uint64]*mshr)
+}
+
+// CPUDead reports whether the local processor complex has failed while the
+// controller lives on.
+func (c *Controller) CPUDead() bool { return c.cpuDead }
 
 // SetFirewall installs the write-access list for a page (nil opens it).
 func (c *Controller) SetFirewall(page coherence.Addr, writers coherence.NodeSet) {
@@ -520,6 +587,10 @@ func (c *Controller) occupancy(msg *coherence.Message) sim.Time {
 		}
 	case coherence.MsgUncachedRead, coherence.MsgUncachedWrite:
 		occ += timing.HandlerRecoveryOp
+	}
+	if c.slowFactor > 1 {
+		occ *= sim.Time(c.slowFactor)
+		c.mSlowHandlers.Inc()
 	}
 	return occ
 }

@@ -222,6 +222,14 @@ func (c *Controller) completeRecall(addr coherence.Addr, e *coherence.DirEntry, 
 
 // handleRecall services a home's recall at the owner.
 func (c *Controller) handleRecall(msg *coherence.Message) {
+	if c.cpuDead {
+		// The cache is dead hardware: its copy cannot be produced, and a
+		// RecallNak would let the home serve its stale memory copy as
+		// valid data. Saying nothing leaves the home transaction pending,
+		// so the requester's NAK counter or memory-op timeout triggers
+		// recovery instead of consuming corrupt state.
+		return
+	}
 	home := msg.Req // Recall carries the home in Req
 	if l := c.Cache.Invalidate(msg.Addr); l != nil {
 		c.sendMsg(home, &coherence.Message{
@@ -292,7 +300,14 @@ func (c *Controller) handleInvAck(msg *coherence.Message) {
 func (c *Controller) handleReply(msg *coherence.Message) {
 	m, ok := c.mshrs[msg.Seq]
 	if !ok || m.addr != msg.Addr {
-		return // aborted or stale
+		// Aborted or stale. With a dead processor complex the grant's
+		// data dies here — an in-flight exclusive grant may be the copy
+		// the home's directory now accounts to this node — so the oracle
+		// learns the line may legitimately be lost.
+		if c.cpuDead && msg.Type.CarriesData() {
+			c.discarded(msg)
+		}
+		return
 	}
 	switch msg.Type {
 	case coherence.MsgDataShared:

@@ -65,9 +65,11 @@ func (c *Controller) access(addr coherence.Addr, excl, hasStore bool, storeTok u
 			return
 		}
 	}
-	// Miss path: consult the node map before sending (§3.1).
+	// Miss path: consult the node map before sending (§3.1). A down home
+	// whose memory bank is still served (CPU-fail/memory-survives) stays
+	// addressable.
 	home := c.Space.Home(addr)
-	if !c.nodeUp[home] {
+	if !c.reachable(home) {
 		c.Stats.BusErrors++
 		c.completeErr(cb, ErrBusError)
 		return
@@ -110,7 +112,7 @@ func (c *Controller) armTimeout(m *mshr) {
 // suppressed by the node map is reported through the discard hook: its
 // content goes nowhere.
 func (c *Controller) sendMsg(dst int, msg *coherence.Message) bool {
-	if !c.nodeUp[dst] {
+	if !c.reachable(dst) {
 		c.discarded(msg)
 		return false
 	}

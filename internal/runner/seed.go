@@ -12,6 +12,8 @@ const (
 	// warm-up is shared by every run of a config, so its seed depends only
 	// on the campaign base seed, never on a run index or fault type.
 	StreamWarmup = 0x500
+	// StreamTail seeds the containment-time tail campaigns (+ fault type).
+	StreamTail = 0x600
 )
 
 // DeriveSeed maps (base, stream, i) to a decorrelated engine seed with a

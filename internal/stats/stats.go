@@ -67,12 +67,31 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// SmallSampleN is the sample size under which a Summary flags itself: with
+// fewer observations the tail statistics (and even the spread) are mostly
+// interpolation noise.
+const SmallSampleN = 100
+
+// TailReliable reports whether the p-th percentile of an n-observation
+// sample is supported by at least one observation in the tail it claims to
+// describe: n·(1-p/100) ≥ 1. A p999 of a 100-run sample fails this — the
+// value is pure interpolation between the two largest observations.
+func TailReliable(n int, p float64) bool {
+	// The tiny epsilon absorbs float rounding: 1000·(1−99.9/100) computes
+	// to 0.999…8 but must count as the one supporting observation.
+	return float64(n)*(1-p/100) >= 1-1e-9
+}
+
 func (s Summary) String() string {
 	if s.N == 0 {
 		return "n=0"
 	}
-	return fmt.Sprintf("n=%d min=%.3g med=%.3g mean=%.3g max=%.3g sd=%.2g",
-		s.N, s.Min, s.Median, s.Mean, s.Max, s.Std)
+	caveat := ""
+	if s.N < SmallSampleN {
+		caveat = " [small sample]"
+	}
+	return fmt.Sprintf("n=%d min=%.3g med=%.3g mean=%.3g max=%.3g sd=%.2g%s",
+		s.N, s.Min, s.Median, s.Mean, s.Max, s.Std, caveat)
 }
 
 // Table is a simple fixed-width text table builder used by the cmd tools.
@@ -84,10 +103,13 @@ type Table struct {
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table { return &Table{header: header} }
 
-// AddRow appends a row; cells beyond the header width are dropped.
+// AddRow appends a row. A row wider than the header is a column-count
+// mistake in the caller — silently dropping the overflow used to mask
+// exactly that — so width mismatches panic. Rows narrower than the header
+// are allowed; missing cells render empty.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) > len(t.header) {
-		cells = cells[:len(t.header)]
+		panic(fmt.Sprintf("stats: row of %d cells exceeds %d-column header", len(cells), len(t.header)))
 	}
 	t.rows = append(t.rows, cells)
 }

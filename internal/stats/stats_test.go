@@ -81,16 +81,53 @@ func TestQuickSummaryInvariants(t *testing.T) {
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("nodes", "total-ms")
 	tb.AddRow("8", "13.9")
-	tb.AddRow("128", "90.8", "extra-dropped")
+	tb.AddRow("128") // short rows render with empty cells
 	out := tb.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("table:\n%s", out)
 	}
-	if !strings.Contains(lines[0], "nodes") || !strings.Contains(lines[2], "90.8") {
+	if !strings.Contains(lines[0], "nodes") || !strings.Contains(lines[1], "13.9") {
 		t.Fatalf("table content wrong:\n%s", out)
 	}
-	if strings.Contains(out, "extra-dropped") {
-		t.Fatal("overflow cell should be dropped")
+}
+
+func TestTableOverflowPanics(t *testing.T) {
+	tb := NewTable("nodes", "total-ms")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row wider than the header should panic")
+		}
+	}()
+	tb.AddRow("128", "90.8", "extra")
+}
+
+func TestTailReliable(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want bool
+	}{
+		{1000, 99.9, true},
+		{999, 99.9, false},
+		{100, 99, true},
+		{50, 99, false},
+		{2, 50, true},
+	}
+	for _, c := range cases {
+		if got := TailReliable(c.n, c.p); got != c.want {
+			t.Errorf("TailReliable(%d, %v) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummarySmallSampleCaveat(t *testing.T) {
+	small := Summarize(make([]float64, 10)).String()
+	if !strings.Contains(small, "small sample") {
+		t.Fatalf("10-run summary lacks caveat: %s", small)
+	}
+	big := Summarize(make([]float64, SmallSampleN)).String()
+	if strings.Contains(big, "small sample") {
+		t.Fatalf("%d-run summary flagged small: %s", SmallSampleN, big)
 	}
 }

@@ -119,6 +119,13 @@ func (t *Topology) Kind() Kind { return t.kind }
 // Routers returns the number of routers (== number of nodes).
 func (t *Topology) Routers() int { return t.n }
 
+// RouterOf returns the router that serves node n. On today's mesh
+// topologies the mapping is the identity (router i serves node i), but
+// callers must still go through it: planned clustered topologies hang
+// several nodes off one router, and code that copies a node id into a
+// router id breaks there.
+func (t *Topology) RouterOf(n int) int { return n }
+
 // Links returns the undirected link list. The caller must not modify it.
 func (t *Topology) Links() []Link { return t.links }
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# bench.sh — refresh BENCH_PR4.json, BENCH_PR5.json and BENCH_PR6.json, the
-# repo's performance trajectory record.
+# bench.sh — refresh BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json and
+# BENCH_PR7.json, the repo's performance trajectory record.
 #
 # First runs the PR 4 campaign benchmarks (16-node and 8-node node-failure
 # validation campaigns plus a Hive end-to-end campaign), keeps the best
@@ -11,14 +11,18 @@
 # campaign speedup and the fork-vs-warmup cost ratio. Then runs the PR 6
 # partitioned-engine benchmarks (the 256- and 1024-node fill scenario on the
 # sequential vs the 4-worker partitioned engine) and emits BENCH_PR6.json
-# with the single-machine partitioned speedup at each size.
+# with the single-machine partitioned speedup at each size. Finally runs the
+# PR 7 tail-campaign benchmarks (the degradation-fault tail campaign with
+# warm-start sharing on and off) and emits BENCH_PR7.json with the campaign's
+# warm-vs-cold speedup.
 #
 #   scripts/bench.sh                  # writes all files at the repo root
-#   scripts/bench.sh pr4.json pr5.json pr6.json   # writes elsewhere
+#   scripts/bench.sh pr4.json pr5.json pr6.json pr7.json   # writes elsewhere
 #   BENCH_TIME=5x BENCH_COUNT=5 scripts/bench.sh   # longer, steadier runs
 #
 # The acceptance bars recorded by the PRs: BenchmarkPR4Validation16 must show
-# speedup_vs_baseline >= 1.5, warm_speedup_vs_cold must be >= 1.5, and
+# speedup_vs_baseline >= 1.5, warm_speedup_vs_cold and
+# tail_warm_speedup_vs_cold must be >= 1.5, and
 # partitioned_speedup_1024 must be >= 1.5 on a host with 4+ free cores (the
 # partitioned engine's parallel windows cannot beat 1.5x with GOMAXPROCS
 # pinned to 1, so the PR6 bar is only enforced when host_cpus >= 4). Any bar
@@ -257,5 +261,73 @@ if [ "${ncpu:-1}" -ge 4 ]; then
 else
   echo "bench.sh: note — host has ${ncpu:-1} scheduler slots; the PR6 1.5x bar needs 4+ (recorded, not enforced)" >&2
 fi
+
+# --- PR 7: degradation-fault tail-campaign numbers -> BENCH_PR7.json --------
+#
+# The Warm/Cold pair runs the identical tail campaign (every degradation
+# class through warm-forked validation runs) with warm-start sharing on and
+# off; results are bit-identical, so cold_ns/warm_ns is the amortization the
+# tail campaign inherits from snapshot/fork. Acceptance:
+# tail_warm_speedup_vs_cold >= 1.5.
+out7="${4:-BENCH_PR7.json}"
+raw7="$(mktemp)"
+trap 'rm -f "$raw" "$raw5" "$raw6" "$raw7"' EXIT
+
+cmd7=(go test -run '^$' -bench BenchmarkPR7 -benchmem -benchtime "$benchtime" -count "$count" .)
+echo "running: ${cmd7[*]}" >&2
+"${cmd7[@]}" | tee "$raw7" >&2
+
+# One record per benchmark: the repetition with the lowest ns/op.
+summary7="$(awk '
+  /^BenchmarkPR7/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = evs = evop = allocs = 0
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op")         ns     = $i
+      if ($(i + 1) == "sim-events/s")  evs    = $i
+      if ($(i + 1) == "sim-events/op") evop   = $i
+      if ($(i + 1) == "allocs/op")     allocs = $i
+    }
+    if (!(name in best) || ns < best[name]) {
+      best[name] = ns
+      line[name] = sprintf("{\"name\":\"%s\",\"ns_per_op\":%d,\"events_per_sec\":%d,\"sim_events_per_op\":%d,\"allocs_per_op\":%d}",
+                           name, ns, evs, evop, allocs)
+    }
+  }
+  END { for (n in line) print line[n] }
+' "$raw7")"
+
+if [ -z "$summary7" ]; then
+  echo "bench.sh: no BenchmarkPR7 results parsed" >&2
+  exit 1
+fi
+
+jq -n \
+  --arg engine "degradation fault models + containment-time tail campaign (PR7)" \
+  --arg commit "$commit" \
+  --arg host "${host:-unknown}" \
+  --arg command "${cmd7[*]}" \
+  --slurpfile runs7 <(echo "$summary7") \
+  '($runs7 | map({key: .name, value: del(.name)}) | from_entries) as $b |
+   {
+    engine: $engine,
+    commit: $commit,
+    host: $host,
+    command: $command,
+    benchmarks: $b,
+    tail_warm_speedup_vs_cold: (
+      ($b.BenchmarkPR7TailCold.ns_per_op / $b.BenchmarkPR7TailWarm.ns_per_op * 100 | round) / 100
+    )
+  }' > "$out7"
+
+echo "wrote $out7" >&2
+jq '{commit, tail_warm_speedup_vs_cold}' "$out7" >&2
+
+# The PR 7 bar: warm-start sharing >= 1.5x on the tail campaign too.
+jq -e '.tail_warm_speedup_vs_cold >= 1.5' "$out7" > /dev/null || {
+  echo "bench.sh: WARNING — tail-campaign warm-start speedup below the 1.5x acceptance bar" >&2
+  rc=2
+}
 
 exit "$rc"
