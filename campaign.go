@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"flashfc/internal/experiments"
+	"flashfc/internal/obs"
 	"flashfc/internal/runner"
 )
 
@@ -56,6 +57,12 @@ type CampaignConfig struct {
 	// results are bit-identical — Off is the cross-check and the cost
 	// baseline. Experiments without warm support ignore it.
 	WarmStart WarmStartMode
+	// Observe, when non-nil, receives the campaign's observability stream:
+	// one Batch announcement, then one RunRecord per run in completion
+	// order (sinks needing index order reorder internally — RunLog does).
+	// RunCampaign never calls Finish; the sink's owner does, after its
+	// last campaign.
+	Observe Sink
 }
 
 // RunEnv is the per-run environment RunCampaign hands an Experiment.
@@ -184,7 +191,14 @@ func RunCampaign[T any](cfg CampaignConfig, exp Experiment[T]) CampaignResult[T]
 			}
 		}
 	}
-	results, stats := runner.CampaignWithSetup(n, cfg.Workers, setup, run, nil)
+	var observe func(i int, r runner.Result[T])
+	if cfg.Observe != nil {
+		cfg.Observe.StartBatch(batchOf(exp, n))
+		observe = func(i int, r runner.Result[T]) {
+			cfg.Observe.RunDone(campaignRecord(i, seedFor(i), r))
+		}
+	}
+	results, stats := runner.CampaignWithSetup(n, cfg.Workers, setup, run, observe)
 	out := CampaignResult[T]{Stats: stats, Runs: make([]CampaignRun[T], len(results))}
 	var snaps []*MetricsSnapshot
 	for i, r := range results {
@@ -199,6 +213,77 @@ func RunCampaign[T any](cfg CampaignConfig, exp Experiment[T]) CampaignResult[T]
 		out.Metrics = MergeMetrics(snaps)
 	}
 	return out
+}
+
+// batchOf names the batch a campaign announces to its observability sink.
+func batchOf(exp any, n int) obs.Batch {
+	switch e := exp.(type) {
+	case ValidationCampaign:
+		return obs.Batch{Label: "validation", Fault: e.Fault.String(), Runs: n}
+	case EndToEndCampaign:
+		return obs.Batch{Label: "end-to-end", Fault: e.Fault.String(), Runs: n}
+	case Fig55Campaign:
+		return obs.Batch{Label: "fig5.5", Runs: n}
+	case Fig56L2Campaign:
+		return obs.Batch{Label: "fig5.6-l2", Runs: n}
+	case Fig56MemCampaign:
+		return obs.Batch{Label: "fig5.6-mem", Runs: n}
+	case Fig57Campaign:
+		return obs.Batch{Label: "fig5.7", Runs: n}
+	case DistributionCampaign:
+		return obs.Batch{Label: "dist", Runs: n}
+	default:
+		return obs.Batch{Label: "campaign", Runs: n}
+	}
+}
+
+// campaignRecord reduces one campaign run to its observability record,
+// extracting the outcome fields the known result types carry.
+func campaignRecord[T any](i int, seed int64, r runner.Result[T]) obs.RunRecord {
+	rec := obs.RunRecord{
+		Run:    i,
+		Seed:   seed,
+		Events: r.Events,
+		WallNS: r.Wall.Nanoseconds(),
+		Worker: r.Worker,
+	}
+	if r.Err != nil {
+		rec.Outcome = obs.OutcomePanic
+		rec.Note = r.Err.Error()
+		return rec
+	}
+	switch v := any(r.Value).(type) {
+	case *ValidationResult:
+		return experiments.RunRecordOf(i, seed, runner.Result[*ValidationResult]{
+			Value: v, Wall: r.Wall, Events: r.Events, Worker: r.Worker,
+		})
+	case *EndToEndResult:
+		rec.Fault = v.Fault.String()
+		rec.ContainmentNS = int64(v.HW + v.OS)
+		if v.OK() {
+			rec.Outcome = obs.OutcomePass
+		} else {
+			rec.Outcome = obs.OutcomeFail
+			rec.Note = v.Note
+		}
+	case ScalingPoint:
+		rec.ContainmentNS = int64(v.Phases.Total)
+		if v.OK {
+			rec.Outcome = obs.OutcomePass
+		} else {
+			rec.Outcome = obs.OutcomeFail
+		}
+	case Fig57Point:
+		rec.ContainmentNS = int64(v.HWOS)
+		if v.OK {
+			rec.Outcome = obs.OutcomePass
+		} else {
+			rec.Outcome = obs.OutcomeFail
+		}
+	default:
+		rec.Outcome = obs.OutcomePass
+	}
+	return rec
 }
 
 // eventsOf extracts the simulated-event count the known result types carry.

@@ -12,6 +12,8 @@
 // per CPU) with bit-identical results. -metrics appends the sweep's
 // aggregate metric registry (every point's machine-wide snapshot, merged)
 // for figs 5.5, 5.6 and dist. -runs sets the seeds of the dist sweep.
+// -run-log streams one JSONL record per point/run (byte-identical at any
+// -workers) and -progress reports live sweep progress on stderr.
 package main
 
 import (
@@ -54,7 +56,9 @@ func fig55(cf *cliflags.Flags) {
 	fmt.Println("\nmesh topology:")
 	fmt.Printf("%6s %12s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "P1,2,3", "total", "rounds")
 	nodes := []int{2, 8, 16, 32, 64, 128}
+	sink, finish := cf.Sinks()
 	ccfg := cf.Config()
+	ccfg.Observe = sink
 	var events uint64
 	var snaps []*flashfc.MetricsSnapshot
 	mesh := flashfc.RunCampaign(ccfg, flashfc.Fig55Campaign{Nodes: nodes, Topo: flashfc.TopoMesh})
@@ -74,6 +78,7 @@ func fig55(cf *cliflags.Flags) {
 		events += p.Events
 	}
 	snaps = append(snaps, cube.Metrics)
+	cliflags.FinishSinks(finish)
 	throughput(events, start)
 	emitSweepMetrics(snaps, cf.Metrics)
 }
@@ -92,7 +97,9 @@ func fig56(cf *cliflags.Flags) {
 	fmt.Println("Fig 5.6 — cache coherence protocol recovery times (4 nodes)")
 	fmt.Println("\nleft: vs second-level cache size (4 MB/node memory):")
 	fmt.Printf("%10s %12s %12s\n", "L2 [MB]", "WB (flush)", "P4 total")
+	sink, finish := cf.Sinks()
 	ccfg := cf.Config()
+	ccfg.Observe = sink
 	var events uint64
 	var snaps []*flashfc.MetricsSnapshot
 	l2 := flashfc.RunCampaign(ccfg, flashfc.Fig56L2Campaign{
@@ -115,6 +122,7 @@ func fig56(cf *cliflags.Flags) {
 		events += p.Events
 	}
 	snaps = append(snaps, mem.Metrics)
+	cliflags.FinishSinks(finish)
 	throughput(events, start)
 	emitSweepMetrics(snaps, cf.Metrics)
 }
@@ -129,9 +137,13 @@ func fig57(cf *cliflags.Flags, full bool) {
 	fmt.Printf("Fig 5.7 — end-to-end recovery times (1 Hive cell/node, %d MB/node, %d KB L2)\n\n",
 		mem>>20, l2>>10)
 	fmt.Printf("%6s %14s %14s\n", "nodes", "HW", "HW+OS")
-	out := flashfc.RunCampaign(cf.Config(), flashfc.Fig57Campaign{
+	sink, finish := cf.Sinks()
+	ccfg := cf.Config()
+	ccfg.Observe = sink
+	out := flashfc.RunCampaign(ccfg, flashfc.Fig57Campaign{
 		Nodes: []int{2, 4, 8, 16}, MemBytes: mem, L2Bytes: l2,
 	})
+	cliflags.FinishSinks(finish)
 	for _, p := range out.Values() {
 		status := ""
 		if !p.OK {
@@ -148,8 +160,11 @@ func dist(cf *cliflags.Flags) {
 	fmt.Printf("%6s %28s %28s\n", "nodes", "P2 ms (min/med/max)", "total ms (min/med/max)")
 	var stats flashfc.CampaignStats
 	var snaps []*flashfc.MetricsSnapshot
+	sink, finish := cf.Sinks()
+	ccfg := cf.Config()
+	ccfg.Observe = sink
 	for _, n := range []int{8, 32, 64} {
-		out := flashfc.RunCampaign(cf.Config(), flashfc.DistributionCampaign{
+		out := flashfc.RunCampaign(ccfg, flashfc.DistributionCampaign{
 			Config: flashfc.DefaultScalingConfig(n),
 		})
 		d := flashfc.SummarizeRecovery(n, out)
@@ -158,6 +173,7 @@ func dist(cf *cliflags.Flags) {
 		stats.Merge(d.Stats)
 		snaps = append(snaps, d.Metrics)
 	}
+	cliflags.FinishSinks(finish)
 	fmt.Printf("\nthroughput: %v\n", stats)
 	emitSweepMetrics(snaps, cf.Metrics)
 }

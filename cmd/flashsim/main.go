@@ -19,7 +19,13 @@
 // (N > 1) flashsim instead runs a campaign of N independent experiments
 // with seeds derived from -seed, fanned out over -parallel workers
 // (0 = one per CPU), and reports pass/fail counts plus simulated-event
-// throughput; -trace applies to single runs only.
+// throughput. Campaigns stream per-run JSONL records with -run-log and a
+// live stderr progress line with -progress; -trace applies to single runs,
+// and -run-seed <i> traces exactly campaign run i (same derived seed and
+// warm fork as run i of the -runs N campaign):
+//
+//	flashsim -fault fail-slow -runs 1000 -run-log runs.jsonl -progress
+//	flashsim -fault fail-slow -runs 1000 -run-seed 837 -trace-critical
 //
 // -metrics prints the machine-wide metric registry after the run (merged
 // across runs in campaign mode, plus per-run distributions). -metrics-json
@@ -89,11 +95,13 @@ func main() {
 	cfg.RegionLinkExtra = flashfc.Time(cf.RegionExtra)
 	var tracer *flashfc.Tracer
 	if cf.WantTrace() {
-		if cf.Runs > 1 {
-			// Multi-run campaigns interleave timelines into nonsense,
-			// so say so instead of silently dropping the flags.
+		if cf.Runs > 1 && cf.RunSeed < 0 {
+			// Multi-run campaigns interleave timelines into nonsense:
+			// point at the campaign-scale alternatives (-run-log,
+			// -exemplars, -run-seed) instead of silently dropping the
+			// flags.
 			cf.WarnTraceIgnored()
-		} else {
+		} else if cf.RunSeed < 0 {
 			tracer = flashfc.NewTracer(0)
 			cfg.Trace = tracer
 		}
@@ -134,6 +142,10 @@ func main() {
 		exit(2)
 	}
 
+	if cf.RunSeed >= 0 {
+		runReplay(cfg, ft, *faultName, cf, topts)
+		return
+	}
 	if cf.Runs > 1 {
 		runCampaign(cfg, ft, *faultName, cf)
 		return
@@ -217,11 +229,50 @@ func emitMetrics(snap *flashfc.MetricsSnapshot, table, asJSON bool) {
 	}
 }
 
+// runReplay traces exactly one run of the -runs N campaign: the same
+// derived seed and the same warm fork the campaign executes for run i, so
+// the traced run IS campaign run i — containment time, verify outcome and
+// all — not a fresh lookalike.
+func runReplay(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string, cf *cliflags.Flags, topts traceOpts) {
+	e := flashfc.ReplayValidationRun(cfg, ft, cf.Seed, cf.RunSeed)
+	topts.tracer = e.Trace
+	r := e.Result
+	fmt.Fprintf(hout, "replay:     %s campaign run %d (base seed %d, derived seed %d)\n",
+		name, e.Run, cf.Seed, e.Seed)
+	if cf.Trace {
+		fmt.Fprintln(hout, "timeline:")
+		e.Trace.Dump(hout)
+		fmt.Fprintln(hout)
+	}
+	fmt.Fprintf(hout, "fault:      %v\n", r.Fault)
+	fmt.Fprintf(hout, "recovered:  %v\n", r.Recovered)
+	if r.Recovered {
+		p := r.Phases
+		fmt.Fprintf(hout, "phases:     P1=%v  P1,2=%v  P1,2,3=%v  total=%v\n", p.P1, p.P12, p.P123, p.Total)
+		fmt.Fprintf(hout, "verify:     %v\n", r.Verify)
+	}
+	emitTrace(topts)
+	emitMetrics(r.Metrics, cf.Metrics, cf.MetricsJSON)
+	if r.OK() {
+		fmt.Fprintln(hout, "result:     PASS — fault contained, no data anomalies")
+		return
+	}
+	fmt.Fprintf(hout, "result:     FAIL — %s\n", r.Note)
+	exit(1)
+}
+
 // runCampaign fans the validation experiments out over the configured
 // worker pool via the Campaign API and reports the campaign verdict.
 func runCampaign(cfg flashfc.ValidationConfig, ft flashfc.FaultType, name string, cf *cliflags.Flags) {
 	fmt.Fprintf(hout, "campaign: %d %s-fault runs, base seed %d\n", cf.Runs, name, cf.Seed)
-	out := flashfc.RunCampaign(cf.Config(), flashfc.ValidationCampaign{Config: cfg, Fault: ft})
+	sink, finish := cf.Sinks()
+	ccfg := cf.Config()
+	ccfg.Observe = sink
+	out := flashfc.RunCampaign(ccfg, flashfc.ValidationCampaign{Config: cfg, Fault: ft})
+	if err := finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "run-log: %v\n", err)
+		exit(1)
+	}
 	failed := 0
 	var snaps []*flashfc.MetricsSnapshot
 	for i, r := range out.Runs {

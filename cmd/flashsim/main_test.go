@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -94,6 +95,102 @@ func TestTraceCriticalReport(t *testing.T) {
 	for _, want := range []string{"critical path", "dominant:", "self-time sum"} {
 		if !bytes.Contains([]byte(stdout), []byte(want)) {
 			t.Errorf("critical report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// -run-log must stream one JSONL record per run, ordered by run index, with
+// bytes independent of -parallel; and -run-seed must replay exactly the run
+// a record describes — same derived seed, traceable on its own.
+func TestRunLogAndRunSeedReplay(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "p1.jsonl")
+	f8 := filepath.Join(dir, "p8.jsonl")
+	campaign := append(fastArgs, "-runs", "5")
+	runFlashsim(t, append(campaign, "-run-log", f1, "-parallel", "1")...)
+	runFlashsim(t, append(campaign, "-run-log", f8, "-parallel", "8")...)
+	b1, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(f8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("run log differs between -parallel 1 and -parallel 8")
+	}
+	lines := bytes.Split(bytes.TrimSuffix(b1, []byte("\n")), []byte("\n"))
+	if len(lines) != 5 {
+		t.Fatalf("got %d records, want 5", len(lines))
+	}
+	type record struct {
+		Run           int    `json:"run"`
+		Seed          int64  `json:"seed"`
+		Outcome       string `json:"outcome"`
+		ContainmentNS int64  `json:"containment_ns"`
+		WallNS        int64  `json:"wall_ns"`
+	}
+	var recs []record
+	for i, line := range lines {
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("record %d: %v\n%s", i, err, line)
+		}
+		if r.Run != i {
+			t.Fatalf("record %d has run index %d: not ordered", i, r.Run)
+		}
+		if r.Outcome != "pass" {
+			t.Errorf("record %d: outcome %q", i, r.Outcome)
+		}
+		if r.WallNS != 0 {
+			t.Errorf("record %d: wall_ns %d not stripped", i, r.WallNS)
+		}
+		recs = append(recs, r)
+	}
+	// Replay record 3: the replay banner must name the record's derived
+	// seed, and the traced run must pass.
+	stdout, _ := runFlashsim(t, append(campaign, "-run-seed", "3")...)
+	want := fmt.Sprintf("derived seed %d", recs[3].Seed)
+	if !bytes.Contains([]byte(stdout), []byte(want)) {
+		t.Errorf("replay of run 3 does not report %q:\n%s", want, stdout)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("PASS")) {
+		t.Errorf("replay did not PASS:\n%s", stdout)
+	}
+}
+
+// -run-seed with -trace-json writes a trace of exactly the replayed run.
+func TestRunSeedTraceJSON(t *testing.T) {
+	dir := t.TempDir()
+	tf := filepath.Join(dir, "run2.json")
+	runFlashsim(t, append(fastArgs, "-runs", "5", "-run-seed", "2", "-trace-json", tf)...)
+	b, err := os.ReadFile(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(b, &evs); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace array is empty")
+	}
+}
+
+// -progress writes to stderr only; the run-log warning path for trace flags
+// points at the campaign-scale alternatives.
+func TestProgressOnStderrAndTraceWarning(t *testing.T) {
+	stdout, stderr := runFlashsim(t, append(fastArgs, "-runs", "4", "-progress", "-trace")...)
+	if !bytes.Contains([]byte(stderr), []byte("progress:")) {
+		t.Errorf("no progress lines on stderr:\n%s", stderr)
+	}
+	if bytes.Contains([]byte(stdout), []byte("progress:")) {
+		t.Error("progress leaked onto stdout")
+	}
+	for _, want := range []string{"-run-log", "-exemplars", "-run-seed"} {
+		if !bytes.Contains([]byte(stderr), []byte(want)) {
+			t.Errorf("trace warning does not mention %s:\n%s", want, stderr)
 		}
 	}
 }

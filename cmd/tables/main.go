@@ -3,6 +3,7 @@
 //	tables -table 5.3 [-runs 200] [-seed 1] [-workers N]
 //	tables -table 5.4 [-runs 1187] [-legacy-bug] [-seed 1] [-workers N]
 //	tables -table tail [-runs 1000] [-seed 1] [-workers N]
+//	tables -table tail -full -run-log runs.jsonl -progress -exemplars out/
 //
 // Table 5.3 (validation): stand-alone cache-fill runs per fault type; the
 // paper reports 200 runs per type with zero failures.
@@ -24,6 +25,12 @@
 // bit-identical results, and each table ends with the aggregate
 // simulated-event throughput. -metrics appends the campaign's aggregate
 // metric registry (every run's machine-wide snapshot, merged).
+//
+// -run-log streams one JSONL record per run (ordered by run index,
+// byte-identical at any -workers/-partitions), -progress reports live
+// campaign progress on stderr, and -exemplars DIR replays the exact runs
+// behind the tail table's p50/p99/p999 with span tracing and writes
+// Perfetto-loadable traces plus critical-path summaries into DIR.
 package main
 
 import (
@@ -89,8 +96,11 @@ func table53(cf *cliflags.Flags) {
 	bad := 0
 	var total flashfc.CampaignStats
 	var snaps []*flashfc.MetricsSnapshot
+	sink, finish := cf.Sinks()
+	ccfg := cf.Config()
+	ccfg.Observe = sink
 	for _, ft := range flashfc.AllFaultTypes() {
-		out := flashfc.RunCampaign(cf.Config(), flashfc.ValidationCampaign{Config: vcfg, Fault: ft})
+		out := flashfc.RunCampaign(ccfg, flashfc.ValidationCampaign{Config: vcfg, Fault: ft})
 		failed := 0
 		for _, r := range out.Runs {
 			if r.Err != nil || !r.Value.OK() {
@@ -102,6 +112,7 @@ func table53(cf *cliflags.Flags) {
 		total.Merge(out.Stats)
 		snaps = append(snaps, out.Metrics)
 	}
+	cliflags.FinishSinks(finish)
 	fmt.Printf("\npaper: 200 runs per type, 0 failures; this run: %d total failures\n", bad)
 	fmt.Printf("throughput: %v\n", total)
 	emitCampaignMetrics(snaps, cf.Metrics)
@@ -122,7 +133,10 @@ func tableTail(cf *cliflags.Flags) {
 	if !cf.WarmStart {
 		cfg.WarmStart = flashfc.WarmStartOff
 	}
+	sink, finish := cf.Sinks()
+	cfg.Observe = sink
 	res := flashfc.RunTailCampaign(cfg, cf.Seed)
+	cliflags.FinishSinks(finish)
 	t := stats.NewTable("Fault scenario", "runs", "failed", "p50", "p99", "p999", "affected")
 	bad := 0
 	interp := false
@@ -142,7 +156,35 @@ func tableTail(cf *cliflags.Flags) {
 		fmt.Println("\n* p999 interpolated, not supported by a real observation; rerun with -full")
 	}
 	fmt.Printf("\nthroughput: %v\n", res.Stats)
+	if cf.Exemplars != "" {
+		writeExemplars(cf, cfg, res)
+	}
 	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeExemplars replays the exact runs behind each scenario's percentiles
+// with span tracing (bit-identical by the determinism contract) and writes
+// Perfetto-loadable trace files plus critical-path summaries into the
+// -exemplars directory. A traced containment time that differs from the
+// campaign's recorded observation means the replay contract is broken —
+// that is a hard failure, not a warning.
+func writeExemplars(cf *cliflags.Flags, cfg flashfc.TailConfig, res *flashfc.TailResult) {
+	fmt.Printf("\nexemplars (replayed with tracing into %s):\n", cf.Exemplars)
+	mismatch := false
+	for _, e := range flashfc.ReplayTailExemplars(cfg, cf.Seed, res) {
+		fmt.Printf("  %v\n", e)
+		if err := flashfc.WriteExemplar(cf.Exemplars, flashfc.ExemplarTraceOf(e)); err != nil {
+			fmt.Fprintf(os.Stderr, "exemplars: %v\n", err)
+			os.Exit(1)
+		}
+		if !e.Match() {
+			mismatch = true
+		}
+	}
+	if mismatch {
+		fmt.Fprintln(os.Stderr, "exemplars: traced containment time diverged from the campaign observation — determinism contract broken")
 		os.Exit(1)
 	}
 }
@@ -178,8 +220,11 @@ func table54(cf *cliflags.Flags, legacy bool) {
 	total, failed := 0, 0
 	var stats flashfc.CampaignStats
 	var snaps []*flashfc.MetricsSnapshot
+	sink, finish := cf.Sinks()
+	ccfg := cf.Config()
+	ccfg.Observe = sink
 	for _, ft := range types {
-		out := flashfc.RunCampaign(cf.Config(), flashfc.EndToEndCampaign{Config: ecfg, Fault: ft})
+		out := flashfc.RunCampaign(ccfg, flashfc.EndToEndCampaign{Config: ecfg, Fault: ft})
 		bad := 0
 		for _, r := range out.Runs {
 			if r.Err != nil || !r.Value.OK() {
@@ -192,6 +237,7 @@ func table54(cf *cliflags.Flags, legacy bool) {
 		stats.Merge(out.Stats)
 		snaps = append(snaps, out.Metrics)
 	}
+	cliflags.FinishSinks(finish)
 	pct := 0.0
 	if total > 0 {
 		pct = 100 * float64(total-failed) / float64(total)

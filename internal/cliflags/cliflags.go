@@ -24,6 +24,22 @@
 //	-warmstart         share warmed machine snapshots across a batch's runs
 //	                   (default true; false rebuilds warm state per run —
 //	                   bit-identical, just slower)
+//	-run-log FILE      stream one JSONL record per campaign run, ordered by
+//	                   run index; byte-identical at any -parallel or
+//	                   -partitions setting
+//	-run-log-host      keep the host-side record fields (wall_ns, worker)
+//	                   instead of zeroing them — real accounting at the
+//	                   price of byte-identity
+//	-progress          live rate-limited campaign progress on stderr (runs
+//	                   done/total, events/sec, failures, ETA); never
+//	                   touches the JSON-only stdout contract
+//	-exemplars DIR     after a tail campaign, replay the exact runs behind
+//	                   p50/p99/p999 with span tracing and write Perfetto
+//	                   traces + critical-path summaries into DIR (tables
+//	                   -table tail)
+//	-run-seed I        trace exactly campaign run I: same derived seed and
+//	                   warm fork as run I of the -runs N campaign
+//	                   (flashsim)
 //	-cpuprofile FILE   write a pprof CPU profile
 //	-memprofile FILE   write a pprof allocation profile at exit
 package cliflags
@@ -67,6 +83,20 @@ type Flags struct {
 
 	WarmStart bool
 
+	// RunLog is the -run-log path: one JSONL record per campaign run,
+	// ordered by run index (empty = off). RunLogHost keeps the host-side
+	// fields (wall_ns, worker) instead of zeroing them.
+	RunLog     string
+	RunLogHost bool
+	// Progress enables the live stderr campaign reporter.
+	Progress bool
+	// Exemplars is the -exemplars directory for replayed tail-percentile
+	// traces (empty = off).
+	Exemplars string
+	// RunSeed is the -run-seed campaign run index to trace exactly
+	// (flashsim); -1 = off.
+	RunSeed int
+
 	CPUProfile string
 	MemProfile string
 }
@@ -88,6 +118,11 @@ func Register(fs *flag.FlagSet, def Defaults) *Flags {
 	fs.StringVar(&f.TraceJSON, "trace-json", "", "write the recovery span tree as Chrome trace-event JSON to `file` (single runs)")
 	fs.BoolVar(&f.TraceCritical, "trace-critical", false, "print the recovery critical-path report (single runs)")
 	fs.BoolVar(&f.WarmStart, "warmstart", true, "share warmed machine snapshots across a batch's runs (false: rebuild per run; bit-identical)")
+	fs.StringVar(&f.RunLog, "run-log", "", "stream one JSONL record per campaign run to `file`, ordered by run index (byte-identical at any -parallel/-partitions)")
+	fs.BoolVar(&f.RunLogHost, "run-log-host", false, "keep host-side run-log fields (wall_ns, worker) instead of zeroing them; breaks byte-identity across worker counts")
+	fs.BoolVar(&f.Progress, "progress", false, "live campaign progress on stderr (runs done/total, events/sec, failures, ETA)")
+	fs.StringVar(&f.Exemplars, "exemplars", "", "replay the runs behind a tail campaign's percentiles with tracing and write Perfetto traces + summaries into `dir`")
+	fs.IntVar(&f.RunSeed, "run-seed", -1, "trace exactly campaign run `i` (same derived seed as run i of the -runs N campaign); -1 = off")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof allocation profile to `file` at exit")
 	return f
@@ -175,18 +210,76 @@ func (f *Flags) WarnOversubscribed() bool {
 	return false
 }
 
+// Sinks builds the observability sink the -run-log/-progress flags
+// request. It returns the sink to hand campaigns (nil when neither flag is
+// set — callers assign it unconditionally) and a finish function to call
+// exactly once after the last campaign: it flushes every sink, verifies
+// the run log saw a complete, duplicate-free record stream, and closes the
+// log file. On a flag error (unwritable -run-log path) it exits.
+func (f *Flags) Sinks() (flashfc.Sink, func() error) {
+	var sinks []flashfc.Sink
+	var file *os.File
+	var log *flashfc.RunLog
+	if f.RunLog != "" {
+		var err error
+		file, err = os.Create(f.RunLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "run-log: %v\n", err)
+			os.Exit(1)
+		}
+		log = flashfc.NewRunLog(file, f.RunLogHost)
+		sinks = append(sinks, log)
+	}
+	if f.Progress {
+		sinks = append(sinks, flashfc.NewProgress(os.Stderr))
+	}
+	if len(sinks) == 0 {
+		return nil, func() error { return nil }
+	}
+	sink := flashfc.MultiSink(sinks...)
+	done := false
+	return sink, func() error {
+		if done {
+			return nil
+		}
+		done = true
+		sink.Finish()
+		if log != nil {
+			if err := log.Err(); err != nil {
+				file.Close()
+				return err
+			}
+		}
+		if file != nil {
+			return file.Close()
+		}
+		return nil
+	}
+}
+
+// FinishSinks runs a Sinks finish function and exits on error — the shared
+// tail of every campaign path.
+func FinishSinks(finish func() error) {
+	if err := finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "run-log: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 // WantTrace reports whether any trace output was requested.
 func (f *Flags) WantTrace() bool {
 	return f.Trace || f.TraceJSON != "" || f.TraceCritical
 }
 
-// WarnTraceIgnored prints the standard warning when trace flags are set in
-// a mode that cannot honor them (multi-run campaigns interleave timelines
-// into nonsense), and reports whether it warned.
+// WarnTraceIgnored prints the standard guidance when trace flags are set
+// in a mode that cannot honor them (a single trace of N interleaved runs
+// is nonsense), pointing at the campaign-scale alternatives instead of a
+// dead end. It reports whether it warned.
 func (f *Flags) WarnTraceIgnored() bool {
 	if !f.WantTrace() {
 		return false
 	}
-	fmt.Fprintln(os.Stderr, "warning: -trace/-trace-json/-trace-critical apply to single runs only; ignored here")
+	fmt.Fprintln(os.Stderr, "warning: -trace/-trace-json/-trace-critical trace a single run; for campaigns use "+
+		"-run-log (per-run records), -exemplars (traced tail exemplars), or flashsim -run-seed <i> (trace exactly campaign run i)")
 	return true
 }

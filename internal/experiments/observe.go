@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flashfc/internal/obs"
+	"flashfc/internal/runner"
+)
+
+// Observability plumbing: batch drivers reduce every completed run to one
+// obs.RunRecord and feed it to the config's Sink. Records flow in
+// completion order — the obs sinks decide whether they need index order —
+// and carry the run's derived seed, so any row of a run log can be
+// replayed exactly (flashsim -run-seed, ReplayTailExemplars).
+
+// RunRecordOf reduces one validation run to its observability record.
+// seed must be the run's derived seed — the value that reproduces it.
+func RunRecordOf(i int, seed int64, r runner.Result[*ValidationResult]) obs.RunRecord {
+	rec := obs.RunRecord{
+		Run:    i,
+		Seed:   seed,
+		Events: r.Events,
+		WallNS: r.Wall.Nanoseconds(),
+		Worker: r.Worker,
+	}
+	switch {
+	case r.Err != nil:
+		rec.Outcome = obs.OutcomePanic
+		rec.Note = r.Err.Error()
+	case r.Value.OK():
+		rec.Outcome = obs.OutcomePass
+	default:
+		rec.Outcome = obs.OutcomeFail
+		rec.Note = r.Value.Note
+	}
+	if r.Err == nil && r.Value != nil {
+		rec.Fault = r.Value.Fault.String()
+		rec.ContainmentNS = int64(r.Value.Phases.Total)
+		rec.AffectedNodes = r.Value.AffectedNodes
+	}
+	return rec
+}
+
+// observeBatch announces a batch to the config's sink (if any) and returns
+// the runner observe callback that feeds it, nil when unobserved.
+func observeBatch(sink obs.Sink, b obs.Batch, seedFor func(i int) int64) func(i int, r runner.Result[*ValidationResult]) {
+	if sink == nil {
+		return nil
+	}
+	sink.StartBatch(b)
+	return func(i int, r runner.Result[*ValidationResult]) {
+		sink.RunDone(RunRecordOf(i, seedFor(i), r))
+	}
+}

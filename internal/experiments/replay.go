@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flashfc/internal/fault"
+	"flashfc/internal/runner"
+	"flashfc/internal/sim"
+	"flashfc/internal/trace"
+)
+
+// Exemplar replay: a tail campaign records which run supports each reported
+// percentile (TailScenario.Exemplars); ReplayTailExemplars re-executes
+// exactly those runs with span tracing on. Campaign runs are a pure
+// function of their derived seed — the fork-vs-fresh and cross-worker
+// determinism contracts — so the traced replay IS the campaign run, not a
+// reconstruction: its containment time must equal the recorded observation
+// bit-for-bit, and the replay's trace explains the original outlier. The
+// experiments suite enforces the equality; drivers treat a mismatch as a
+// broken determinism contract.
+
+// ExemplarReplay is one percentile exemplar re-run with tracing.
+type ExemplarReplay struct {
+	Fault fault.Type
+	Pct   float64 // the percentile the run supports (50, 99, 99.9)
+	Run   int     // run index within the campaign's per-fault batch
+	Seed  int64   // the run's derived seed (replayed here)
+	// CampaignTime is the containment time the campaign recorded for this
+	// run; TracedTime is what the traced replay measured. Equal by the
+	// determinism contract.
+	CampaignTime sim.Time
+	TracedTime   sim.Time
+	// Result is the replayed run's full outcome.
+	Result *ValidationResult
+	// Trace holds the replay's span/point timeline.
+	Trace *trace.Tracer
+}
+
+// Match reports whether the replay reproduced the campaign's observation
+// exactly.
+func (e ExemplarReplay) Match() bool { return e.TracedTime == e.CampaignTime }
+
+// ReplayTailExemplars replays every exemplar of a finished tail campaign
+// with tracing enabled. cfg and seed must be the ones the campaign ran
+// under: the replay rebuilds the campaign's warm snapshot (one warm-up,
+// shared across all exemplars — it is fault-independent) and forks each
+// exemplar's recorded seed from it, the identical computation the campaign
+// performed, plus a tracer.
+func ReplayTailExemplars(cfg TailConfig, seed int64, res *TailResult) []ExemplarReplay {
+	var out []ExemplarReplay
+	bcfg := cfg.ValidationConfig
+	bcfg.Trace = nil
+	var ws *WarmState
+	for _, sc := range res.Scenarios {
+		for _, ex := range sc.Exemplars {
+			if ws == nil {
+				ws = WarmupValidation(bcfg, runner.DeriveSeed(seed, runner.StreamWarmup, 0))
+			}
+			tr := trace.New(0)
+			r := ValidationFromWarm(ws, sc.Fault, ex.Seed, tr)
+			out = append(out, ExemplarReplay{
+				Fault:        sc.Fault,
+				Pct:          ex.Pct,
+				Run:          ex.Run,
+				Seed:         ex.Seed,
+				CampaignTime: ex.Time,
+				TracedTime:   r.Phases.Total,
+				Result:       r,
+				Trace:        tr,
+			})
+		}
+	}
+	return out
+}
+
+// ReplayTailRun replays one arbitrary run of a tail campaign (not
+// necessarily an exemplar) with tracing: the flashsim -run-seed path.
+func ReplayTailRun(cfg TailConfig, ft fault.Type, seed int64, i int) ExemplarReplay {
+	bcfg := cfg.ValidationConfig
+	bcfg.Trace = nil
+	ws := WarmupValidation(bcfg, runner.DeriveSeed(seed, runner.StreamWarmup, 0))
+	tr := trace.New(0)
+	runSeed := tailRunSeed(seed, ft, i)
+	r := ValidationFromWarm(ws, ft, runSeed, tr)
+	return ExemplarReplay{
+		Fault: ft, Run: i, Seed: runSeed,
+		CampaignTime: r.Phases.Total, TracedTime: r.Phases.Total,
+		Result: r, Trace: tr,
+	}
+}
+
+// ReplayValidationRun replays run i of a validation campaign (Table 5.3 /
+// flashsim -runs N batches, StreamValidation seeds) with tracing — the
+// flashsim -run-seed path: the same warm fork the campaign executed, so
+// the traced run is campaign run i, not a lookalike.
+func ReplayValidationRun(cfg ValidationConfig, ft fault.Type, seed int64, i int) ExemplarReplay {
+	bcfg := cfg
+	bcfg.Trace = nil
+	ws := WarmupValidation(bcfg, runner.DeriveSeed(seed, runner.StreamWarmup, 0))
+	tr := trace.New(0)
+	runSeed := runner.DeriveSeed(seed, runner.StreamValidation+int(ft), i)
+	r := ValidationFromWarm(ws, ft, runSeed, tr)
+	return ExemplarReplay{
+		Fault: ft, Run: i, Seed: runSeed,
+		CampaignTime: r.Phases.Total, TracedTime: r.Phases.Total,
+		Result: r, Trace: tr,
+	}
+}
+
+// String renders the one-line replay summary the drivers print.
+func (e ExemplarReplay) String() string {
+	verdict := "match"
+	if !e.Match() {
+		verdict = fmt.Sprintf("MISMATCH (campaign %v)", e.CampaignTime)
+	}
+	return fmt.Sprintf("p%g exemplar: %v run %d seed %d, containment %v, %s",
+		e.Pct, e.Fault, e.Run, e.Seed, e.TracedTime, verdict)
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"math"
 	"sort"
 
 	"flashfc/internal/fault"
+	"flashfc/internal/obs"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/stats"
@@ -53,6 +55,21 @@ type TailScenario struct {
 	// Affected summarizes the fraction of the machine each run lost
 	// (affected nodes / machine size).
 	Affected stats.Summary
+	// Exemplars identifies the real observations behind the scenario's
+	// percentiles: for each of p50/p99/p999, the nearest-rank passing run
+	// (the percentiles above interpolate between observations; an exemplar
+	// must be a run that actually happened). ReplayTailExemplars re-runs
+	// them with tracing from the recorded seeds.
+	Exemplars []TailExemplar
+}
+
+// TailExemplar names the campaign run supporting one percentile: replaying
+// Seed through the warm fork reproduces Time bit-exactly.
+type TailExemplar struct {
+	Pct  float64  // the percentile this run supports (50, 99, 99.9)
+	Run  int      // run index within the scenario's batch
+	Seed int64    // the run's derived seed
+	Time sim.Time // the run's containment time (Phases.Total)
 }
 
 // TailResult is a full tail campaign: one scenario per fault class plus the
@@ -84,12 +101,14 @@ func TailCampaign(cfg TailConfig, seed int64) *TailResult {
 		results, st := tailBatch(cfg.ValidationConfig, ft, runs, seed)
 		var times []float64
 		var affected []float64
-		for _, r := range results {
+		var passing []tailObs
+		for i, r := range results {
 			if r.Err != nil || !r.Value.OK() {
 				sc.Failed++
 				continue
 			}
 			times = append(times, float64(r.Value.Phases.Total))
+			passing = append(passing, tailObs{t: r.Value.Phases.Total, run: i})
 			affected = append(affected,
 				float64(r.Value.AffectedNodes)/float64(cfg.Nodes))
 		}
@@ -99,6 +118,9 @@ func TailCampaign(cfg TailConfig, seed int64) *TailResult {
 			sc.P99 = sim.Time(stats.Percentile(times, 99))
 			sc.P999 = sim.Time(stats.Percentile(times, 99.9))
 			sc.TailOK = stats.TailReliable(len(times), 99.9)
+			sc.Exemplars = tailExemplars(passing, func(i int) int64 {
+				return tailRunSeed(seed, ft, i)
+			})
 		}
 		sc.Affected = stats.Summarize(affected)
 		out.Stats.Merge(st)
@@ -107,24 +129,72 @@ func TailCampaign(cfg TailConfig, seed int64) *TailResult {
 	return out
 }
 
+// TailPercentiles are the percentiles a tail campaign reports and keeps
+// exemplars for.
+var TailPercentiles = []float64{50, 99, 99.9}
+
+// tailObs is one passing run's containment time, tagged with its run index.
+type tailObs struct {
+	t   sim.Time
+	run int
+}
+
+// tailExemplars picks the real observation behind each reported percentile:
+// over the passing runs sorted by (time, run index), the p-th percentile's
+// supporting observation is nearest-rank ceil(p/100·n)−1. stats.Percentile
+// interpolates between neighbors for the reported number; an exemplar must
+// be a run that actually happened, so it uses the rank observation — for
+// p999 at n ≥ 1000 the two coincide.
+func tailExemplars(passing []tailObs, seedOf func(i int) int64) []TailExemplar {
+	sort.Slice(passing, func(a, b int) bool {
+		if passing[a].t != passing[b].t {
+			return passing[a].t < passing[b].t
+		}
+		return passing[a].run < passing[b].run
+	})
+	out := make([]TailExemplar, 0, len(TailPercentiles))
+	for _, p := range TailPercentiles {
+		r := int(math.Ceil(p/100*float64(len(passing)))) - 1
+		if r < 0 {
+			r = 0
+		}
+		o := passing[r]
+		out = append(out, TailExemplar{Pct: p, Run: o.run, Seed: seedOf(o.run), Time: o.t})
+	}
+	return out
+}
+
+// tailRunSeed derives the engine seed of tail run i of one fault class.
+func tailRunSeed(seed int64, ft fault.Type, i int) int64 {
+	return runner.DeriveSeed(seed, runner.StreamTail+int(ft), i)
+}
+
 // tailBatch is WarmValidationBatch with the tail campaign's seed stream.
 func tailBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*ValidationResult], runner.Stats) {
 	bcfg := cfg
 	bcfg.Trace = nil
 	warmSeed := runner.DeriveSeed(seed, runner.StreamWarmup, 0)
-	runSeed := func(i int) int64 { return runner.DeriveSeed(seed, runner.StreamTail+int(ft), i) }
+	runSeed := func(i int) int64 { return tailRunSeed(seed, ft, i) }
+	observe := observeBatch(cfg.Observe,
+		obs.Batch{Label: "tail", Fault: ft.String(), Runs: runs}, runSeed)
 	if bcfg.WarmStart.Enabled() {
 		return runner.CampaignWithSetup(runs, cfg.Workers,
 			func() any { return WarmupValidation(bcfg, warmSeed) },
 			func(i int, ws any, rec *runner.Recorder) *ValidationResult {
+				if cfg.runHook != nil {
+					cfg.runHook(i)
+				}
 				r := ValidationFromWarm(ws.(*WarmState), ft, runSeed(i), nil)
 				rec.Report(r.Events)
 				return r
-			}, nil)
+			}, observe)
 	}
 	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *ValidationResult {
+		if cfg.runHook != nil {
+			cfg.runHook(i)
+		}
 		r := ValidationWarm(bcfg, ft, warmSeed, runSeed(i))
 		rec.Report(r.Events)
 		return r
-	}, nil)
+	}, observe)
 }

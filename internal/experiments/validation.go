@@ -13,6 +13,7 @@ import (
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
 	"flashfc/internal/metrics"
+	"flashfc/internal/obs"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/trace"
@@ -92,6 +93,12 @@ type ValidationConfig struct {
 	// itself is safe to share across goroutines, but interleaving many
 	// runs' simulated timelines into one trace produces nonsense.
 	Trace *trace.Tracer
+	// Observe, when non-nil, receives one obs.Batch announcement plus a
+	// per-run obs.RunRecord from every batch driver (ValidationBatch,
+	// TailCampaign); single runs ignore it. Records arrive in completion
+	// order; the driver never calls Finish — the owner of the sink does,
+	// after its last batch.
+	Observe obs.Sink
 	// runHook, when non-nil, runs at the start of every batch run with
 	// the run index. Test-only: it lets the suite crash a chosen run and
 	// assert that the runner's panic isolation turns it into a failed

@@ -6,6 +6,7 @@ import (
 
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
+	"flashfc/internal/obs"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/trace"
@@ -161,6 +162,8 @@ func WarmValidationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int
 	bcfg.Trace = nil
 	warmSeed := runner.DeriveSeed(seed, runner.StreamWarmup, 0)
 	runSeed := func(i int) int64 { return runner.DeriveSeed(seed, runner.StreamValidation+int(ft), i) }
+	observe := observeBatch(cfg.Observe,
+		obs.Batch{Label: "validation", Fault: ft.String(), Runs: runs}, runSeed)
 	if bcfg.WarmStart.Enabled() {
 		return runner.CampaignWithSetup(runs, cfg.Workers,
 			func() any { return WarmupValidation(bcfg, warmSeed) },
@@ -171,7 +174,7 @@ func WarmValidationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int
 				r := ValidationFromWarm(ws.(*WarmState), ft, runSeed(i), nil)
 				rec.Report(r.Events)
 				return r
-			}, nil)
+			}, observe)
 	}
 	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *ValidationResult {
 		if cfg.runHook != nil {
@@ -180,5 +183,5 @@ func WarmValidationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int
 		r := ValidationWarm(bcfg, ft, warmSeed, runSeed(i))
 		rec.Report(r.Events)
 		return r
-	}, nil)
+	}, observe)
 }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress is a rate-limited live campaign reporter: a single overwritten
+// status line (runs done/total, simulated events/sec, failures so far, ETA)
+// emitted at most once per Interval, plus a final summary on Finish. It is
+// pure host-side telemetry — it belongs on stderr and must never share a
+// stream with machine-readable output (-metrics-json, -run-log), which is
+// exactly how the CLIs wire it.
+type Progress struct {
+	// W receives the status line; the CLIs pass os.Stderr.
+	W io.Writer
+	// Interval is the minimum host time between status lines; 0 means
+	// DefaultProgressInterval. Negative disables rate limiting (tests).
+	Interval time.Duration
+
+	total   int // announced runs across all batches so far
+	done    int
+	failed  int
+	events  uint64
+	batches int
+	label   string // current batch label:fault for the status line
+
+	started  time.Time
+	lastLine time.Time
+	wrote    bool
+}
+
+// DefaultProgressInterval is the default minimum spacing of status lines:
+// frequent enough to feel live, cheap enough to be invisible next to a
+// campaign's simulation cost.
+const DefaultProgressInterval = 200 * time.Millisecond
+
+// NewProgress returns a Progress reporting to w at the default interval.
+func NewProgress(w io.Writer) *Progress { return &Progress{W: w} }
+
+func (p *Progress) interval() time.Duration {
+	if p.Interval == 0 {
+		return DefaultProgressInterval
+	}
+	return p.Interval
+}
+
+// StartBatch extends the campaign's run total; the ETA spans everything
+// announced so far.
+func (p *Progress) StartBatch(b Batch) {
+	if p.started.IsZero() {
+		p.started = hostClock()
+	}
+	p.total += b.Runs
+	p.batches++
+	p.label = b.Label
+	if b.Fault != "" {
+		p.label = b.Fault
+		if b.Label != "" {
+			p.label = b.Label + ":" + b.Fault
+		}
+	}
+}
+
+// RunDone folds one completed run into the counters and, at most once per
+// Interval, rewrites the status line.
+func (p *Progress) RunDone(r RunRecord) {
+	p.done++
+	p.events += r.Events
+	if !r.OK() {
+		p.failed++
+	}
+	now := hostClock()
+	if p.wrote && p.interval() > 0 && now.Sub(p.lastLine) < p.interval() {
+		return
+	}
+	p.lastLine = now
+	p.wrote = true
+	fmt.Fprintf(p.W, "\rprogress: %s%d/%d runs, %d failed, %s, ETA %s   ",
+		p.prefix(), p.done, p.total, p.failed, p.rate(now), p.eta(now))
+}
+
+// Finish rewrites the line one last time with the final counters and
+// terminates it.
+func (p *Progress) Finish() {
+	if p.done == 0 && !p.wrote {
+		return
+	}
+	now := hostClock()
+	fmt.Fprintf(p.W, "\rprogress: %s%d/%d runs, %d failed, %s, done in %v   \n",
+		p.prefix(), p.done, p.total, p.failed, p.rate(now), now.Sub(p.started).Round(time.Millisecond))
+}
+
+func (p *Progress) prefix() string {
+	if p.batches > 1 && p.label != "" {
+		return "[" + p.label + "] "
+	}
+	return ""
+}
+
+func (p *Progress) rate(now time.Time) string {
+	el := now.Sub(p.started).Seconds()
+	if el <= 0 {
+		return "0.00 Mev/s"
+	}
+	return fmt.Sprintf("%.2f Mev/s", float64(p.events)/el/1e6)
+}
+
+func (p *Progress) eta(now time.Time) string {
+	if p.done == 0 || p.total <= p.done {
+		return "0s"
+	}
+	el := now.Sub(p.started)
+	rem := time.Duration(float64(el) / float64(p.done) * float64(p.total-p.done))
+	return rem.Round(100 * time.Millisecond).String()
+}

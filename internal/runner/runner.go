@@ -34,6 +34,10 @@ type Result[T any] struct {
 	// Events is the simulated-event count the run reported via
 	// Recorder.Report (0 if it reported nothing).
 	Events uint64
+	// Worker is the pool worker that executed the run (0 when sequential).
+	// Host-side scheduling detail: varies with worker count, so anything
+	// claiming determinism must ignore it (obs.StripHost does).
+	Worker int
 }
 
 // PanicError wraps a panic recovered from a single run.
@@ -122,16 +126,21 @@ func CampaignWithSetup[T any](n, workers int, setup func() any, fn func(i int, w
 	}
 	workers = Workers(workers, n)
 	results := make([]Result[T], n)
+	setupWall := make([]time.Duration, workers)
 
 	// worker wraps fn with the lazily-built per-worker state; the returned
 	// closure is used by exactly one goroutine, so the captured state needs
-	// no locking. Setup runs inside runOne's panic isolation.
-	worker := func() func(i int, rec *Recorder) T {
+	// no locking. Setup runs inside runOne's panic isolation and its wall
+	// time accrues to the worker's setupWall slot, not to the run — the
+	// Stats split that keeps warm-up cost out of run-phase throughput.
+	worker := func(w int) func(i int, rec *Recorder) T {
 		var ws any
 		ready := setup == nil
 		return func(i int, rec *Recorder) T {
 			if !ready {
+				t0 := time.Now()
 				ws = setup()
+				setupWall[w] += time.Since(t0)
 				ready = true
 			}
 			return fn(i, ws, rec)
@@ -139,14 +148,14 @@ func CampaignWithSetup[T any](n, workers int, setup func() any, fn func(i int, w
 	}
 
 	if workers == 1 {
-		w := worker()
+		w := worker(0)
 		for i := range results {
 			results[i] = runOne(i, w)
 			if observe != nil {
 				observe(i, results[i])
 			}
 		}
-		return results, summarize(results, time.Since(start))
+		return results, summarize(results, time.Since(start), setupWall)
 	}
 
 	var next atomic.Int64
@@ -155,25 +164,26 @@ func CampaignWithSetup[T any](n, workers int, setup func() any, fn func(i int, w
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			run := worker()
+			run := worker(w)
 			for {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
 				results[i] = runOne(i, run)
+				results[i].Worker = w
 				if observe != nil {
 					mu.Lock()
 					observe(i, results[i])
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return results, summarize(results, time.Since(start))
+	return results, summarize(results, time.Since(start), setupWall)
 }
 
 // runOne executes a single run with panic isolation.
@@ -201,9 +211,18 @@ type Stats struct {
 	Wall   time.Duration // wall clock of the whole campaign
 	Work   time.Duration // summed per-run wall clock (≥ Wall when parallel)
 	Events uint64        // summed simulated events across runs
+	// Setup is the summed per-worker lazy-setup time (warm-snapshot builds)
+	// — the CPU view of warm-up cost.
+	Setup time.Duration
+	// SetupWall is the largest single worker's setup time — the wall view.
+	// Workers start setup concurrently at campaign start, so Wall−SetupWall
+	// approximates the campaign's run phase; dividing events by raw Wall
+	// (EventsPerSec) charges warm-up to the runs and understates fork-phase
+	// throughput, which is what RunEventsPerSec corrects.
+	SetupWall time.Duration
 }
 
-func summarize[T any](results []Result[T], wall time.Duration) Stats {
+func summarize[T any](results []Result[T], wall time.Duration, setupWall []time.Duration) Stats {
 	s := Stats{Runs: len(results), Wall: wall}
 	for _, r := range results {
 		if r.Err != nil {
@@ -212,26 +231,48 @@ func summarize[T any](results []Result[T], wall time.Duration) Stats {
 		s.Work += r.Wall
 		s.Events += r.Events
 	}
+	for _, d := range setupWall {
+		s.Setup += d
+		if d > s.SetupWall {
+			s.SetupWall = d
+		}
+	}
 	return s
 }
 
-// Merge folds another campaign's accounting into s; walls add, so a merged
-// Stats describes the campaigns run back to back.
+// Merge folds another campaign's accounting into s; walls add (including
+// SetupWall — each campaign pays its own warm-up), so a merged Stats
+// describes the campaigns run back to back.
 func (s *Stats) Merge(o Stats) {
 	s.Runs += o.Runs
 	s.Failed += o.Failed
 	s.Wall += o.Wall
 	s.Work += o.Work
 	s.Events += o.Events
+	s.Setup += o.Setup
+	s.SetupWall += o.SetupWall
 }
 
-// EventsPerSec is the campaign's simulated-event throughput against wall
-// time — the headline number parallelism is supposed to move.
+// EventsPerSec is the campaign's simulated-event throughput against total
+// wall time, warm-up included — the headline number parallelism is
+// supposed to move.
 func (s Stats) EventsPerSec() float64 {
 	if s.Wall <= 0 {
 		return 0
 	}
 	return float64(s.Events) / s.Wall.Seconds()
+}
+
+// RunEventsPerSec is the run-phase throughput: events against wall time
+// with the per-worker lazy setup (warm-snapshot build) excluded. Use this
+// when comparing fork-phase cost across warm modes — EventsPerSec charges
+// the warm-up to the runs and skews the comparison.
+func (s Stats) RunEventsPerSec() float64 {
+	run := s.Wall - s.SetupWall
+	if run <= 0 {
+		return 0
+	}
+	return float64(s.Events) / run.Seconds()
 }
 
 // Speedup reports Work/Wall — how much per-run wall time overlapped.
@@ -247,9 +288,16 @@ func (s Stats) Speedup() float64 {
 	return float64(s.Work) / float64(s.Wall)
 }
 
-// String renders the accounting the CLIs print after a campaign.
+// String renders the accounting the CLIs print after a campaign. Campaigns
+// with lazy setup get the warm-up split out and the run-phase rate shown
+// alongside the headline rate.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d runs in %v (cpu %v, %.1fx), %d simulated events, %.2f Mevents/s",
+	base := fmt.Sprintf("%d runs in %v (cpu %v, %.1fx), %d simulated events, %.2f Mevents/s",
 		s.Runs, s.Wall.Round(time.Millisecond), s.Work.Round(time.Millisecond),
 		s.Speedup(), s.Events, s.EventsPerSec()/1e6)
+	if s.Setup > 0 {
+		base += fmt.Sprintf(" (setup %v, run-phase %.2f Mevents/s)",
+			s.SetupWall.Round(time.Millisecond), s.RunEventsPerSec()/1e6)
+	}
+	return base
 }

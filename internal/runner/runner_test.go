@@ -3,6 +3,7 @@ package runner
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -198,5 +199,70 @@ func TestDeriveSeedAvalanche(t *testing.T) {
 	}
 	if avg := float64(bits) / n; avg < 12 || avg > 20 {
 		t.Fatalf("avg differing low bits between adjacent seeds = %.1f, want ~16", avg)
+	}
+}
+
+func TestCampaignWithSetupAccounting(t *testing.T) {
+	const workers, runs = 3, 12
+	results, stats := CampaignWithSetup(runs, workers, func() any {
+		time.Sleep(2 * time.Millisecond) // stand-in for a warm-snapshot build
+		return 42
+	}, func(i int, ws any, rec *Recorder) int {
+		if ws != 42 {
+			t.Errorf("run %d: setup state = %v", i, ws)
+		}
+		rec.Report(1000)
+		return i
+	}, nil)
+
+	if stats.Setup < stats.SetupWall || stats.SetupWall < 2*time.Millisecond {
+		t.Fatalf("setup accounting: Setup=%v SetupWall=%v", stats.Setup, stats.SetupWall)
+	}
+	// Each worker runs setup exactly once, so the sum is bounded by
+	// workers × (one setup + scheduling slack).
+	if stats.Setup > time.Duration(workers)*200*time.Millisecond {
+		t.Fatalf("Setup=%v looks like setup ran per run, not per worker", stats.Setup)
+	}
+	// Excluding warm-up can only raise the rate.
+	if stats.RunEventsPerSec() < stats.EventsPerSec() {
+		t.Fatalf("run-phase rate %v < headline rate %v",
+			stats.RunEventsPerSec(), stats.EventsPerSec())
+	}
+	if s := stats.String(); !strings.Contains(s, "setup") || !strings.Contains(s, "run-phase") {
+		t.Fatalf("String() with setup lacks the warm-up split: %s", s)
+	}
+
+	workersSeen := map[int]bool{}
+	for i, r := range results {
+		if r.Worker < 0 || r.Worker >= workers {
+			t.Fatalf("run %d worker id %d out of range", i, r.Worker)
+		}
+		workersSeen[r.Worker] = true
+	}
+	if len(workersSeen) == 0 {
+		t.Fatal("no worker ids recorded")
+	}
+}
+
+func TestCampaignWithoutSetupHasNoSetupStats(t *testing.T) {
+	_, stats := Campaign(4, 2, func(i int, _ *Recorder) int { return i }, nil)
+	if stats.Setup != 0 || stats.SetupWall != 0 {
+		t.Fatalf("no-setup campaign accrued setup time: %+v", stats)
+	}
+	if strings.Contains(stats.String(), "setup") {
+		t.Fatalf("String() mentions setup without any: %s", stats.String())
+	}
+}
+
+func TestStatsMergeSetup(t *testing.T) {
+	a := Stats{Wall: 4 * time.Second, Setup: 2 * time.Second, SetupWall: time.Second, Events: 30}
+	b := Stats{Wall: 2 * time.Second, Setup: time.Second, SetupWall: time.Second, Events: 20}
+	a.Merge(b)
+	if a.Setup != 3*time.Second || a.SetupWall != 2*time.Second {
+		t.Fatalf("merged setup = %v / %v", a.Setup, a.SetupWall)
+	}
+	// 50 events over (6s − 2s) of run-phase wall.
+	if got := a.RunEventsPerSec(); got != 12.5 {
+		t.Fatalf("RunEventsPerSec = %v, want 12.5", got)
 	}
 }

@@ -1,0 +1,103 @@
+package flashfc
+
+import (
+	"io"
+
+	"flashfc/internal/experiments"
+	"flashfc/internal/obs"
+)
+
+// Campaign observability (internal/obs): per-run record streams, live
+// progress reporting, and tail-exemplar trace replay. Attach a Sink via
+// CampaignConfig.Observe or ValidationConfig.Observe/TailConfig.Observe;
+// the campaign announces each batch and emits one RunRecord per run in
+// completion order, and the sink's owner calls Finish after the last
+// batch.
+type (
+	// RunRecord is one campaign run reduced to a flat, serializable record:
+	// run index, derived seed, fault, outcome, containment time, events,
+	// and (optionally) host accounting.
+	RunRecord = obs.RunRecord
+	// Batch announces one campaign batch to a Sink.
+	Batch = obs.Batch
+	// Sink consumes a campaign's observability stream.
+	Sink = obs.Sink
+	// RunLog writes records as JSONL ordered by run index regardless of
+	// worker scheduling — byte-identical at any -parallel or -partitions.
+	RunLog = obs.RunLog
+	// Progress is a rate-limited live campaign reporter for stderr.
+	Progress = obs.Progress
+	// ExemplarTrace is one replayed percentile exemplar ready to render as
+	// a Perfetto-loadable trace plus a critical-path summary.
+	ExemplarTrace = obs.ExemplarTrace
+	// TailExemplar names the campaign run supporting one tail percentile.
+	TailExemplar = experiments.TailExemplar
+	// ExemplarReplay is one tail exemplar re-run with span tracing; its
+	// traced containment time equals the campaign's recorded observation
+	// exactly (the determinism contract, enforced by Match).
+	ExemplarReplay = experiments.ExemplarReplay
+)
+
+// Run outcomes.
+const (
+	OutcomePass  = obs.OutcomePass
+	OutcomeFail  = obs.OutcomeFail
+	OutcomePanic = obs.OutcomePanic
+)
+
+// NewRunLog returns a RunLog writing JSONL to w. host keeps the host-side
+// fields (wall time, worker id) instead of zeroing them — real values at
+// the price of byte-identity across worker counts.
+func NewRunLog(w io.Writer, host bool) *RunLog { return obs.NewRunLog(w, host) }
+
+// NewProgress returns a Progress reporting to w (normally os.Stderr) at
+// the default interval.
+func NewProgress(w io.Writer) *Progress { return obs.NewProgress(w) }
+
+// MultiSink fans one observability stream out to several sinks (nil sinks
+// are skipped).
+func MultiSink(sinks ...Sink) Sink { return obs.Multi(sinks...) }
+
+// ReplayTailExemplars replays every percentile exemplar of a finished tail
+// campaign with span tracing: the same warm fork and derived seeds the
+// campaign used, so each replay reproduces its observation bit-exactly.
+func ReplayTailExemplars(cfg TailConfig, seed int64, res *TailResult) []ExemplarReplay {
+	return experiments.ReplayTailExemplars(cfg, seed, res)
+}
+
+// ReplayValidationRun replays run i of a validation campaign (the batches
+// behind flashsim -runs N and Table 5.3) with tracing — the flashsim
+// -run-seed path: same warm fork, same derived seed, so the traced run is
+// campaign run i.
+func ReplayValidationRun(cfg ValidationConfig, ft FaultType, seed int64, i int) ExemplarReplay {
+	return experiments.ReplayValidationRun(cfg, ft, seed, i)
+}
+
+// ReplayTailRun replays run i of a tail campaign's per-fault batch with
+// tracing (StreamTail seeds).
+func ReplayTailRun(cfg TailConfig, ft FaultType, seed int64, i int) ExemplarReplay {
+	return experiments.ReplayTailRun(cfg, ft, seed, i)
+}
+
+// WriteExemplar renders one replayed exemplar into dir: <name>.trace.json
+// (Chrome trace events, Perfetto-loadable) and <name>.json (run identity,
+// campaign-vs-traced containment match, critical-path summary naming the
+// dominant recovery phase). Both files are byte-deterministic.
+func WriteExemplar(dir string, e ExemplarTrace) error { return obs.WriteExemplar(dir, e) }
+
+// ExemplarName builds the conventional exemplar file stem ("fail-slow-p999").
+func ExemplarName(fault string, pct float64) string { return obs.ExemplarName(fault, pct) }
+
+// ExemplarTraceOf packages a replay for WriteExemplar.
+func ExemplarTraceOf(e ExemplarReplay) ExemplarTrace {
+	return ExemplarTrace{
+		Name:       obs.ExemplarName(e.Fault.String(), e.Pct),
+		Fault:      e.Fault.String(),
+		Pct:        e.Pct,
+		Run:        e.Run,
+		Seed:       e.Seed,
+		CampaignNS: int64(e.CampaignTime),
+		TracedNS:   int64(e.TracedTime),
+		Tracer:     e.Trace,
+	}
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# bench.sh — refresh BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json and
-# BENCH_PR7.json, the repo's performance trajectory record.
+# bench.sh — refresh BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json,
+# BENCH_PR7.json and BENCH_PR8.json, the repo's performance trajectory
+# record.
 #
 # First runs the PR 4 campaign benchmarks (16-node and 8-node node-failure
 # validation campaigns plus a Hive end-to-end campaign), keeps the best
@@ -14,18 +15,21 @@
 # with the single-machine partitioned speedup at each size. Finally runs the
 # PR 7 tail-campaign benchmarks (the degradation-fault tail campaign with
 # warm-start sharing on and off) and emits BENCH_PR7.json with the campaign's
-# warm-vs-cold speedup.
+# warm-vs-cold speedup. Finally runs the PR 8 observability pair (the same
+# tail campaign bare vs streamed through RunLog+Progress into io.Discard)
+# and emits BENCH_PR8.json with the per-run record-stream overhead.
 #
 #   scripts/bench.sh                  # writes all files at the repo root
-#   scripts/bench.sh pr4.json pr5.json pr6.json pr7.json   # writes elsewhere
+#   scripts/bench.sh pr4.json pr5.json pr6.json pr7.json pr8.json
 #   BENCH_TIME=5x BENCH_COUNT=5 scripts/bench.sh   # longer, steadier runs
 #
 # The acceptance bars recorded by the PRs: BenchmarkPR4Validation16 must show
 # speedup_vs_baseline >= 1.5, warm_speedup_vs_cold and
-# tail_warm_speedup_vs_cold must be >= 1.5, and
+# tail_warm_speedup_vs_cold must be >= 1.5,
 # partitioned_speedup_1024 must be >= 1.5 on a host with 4+ free cores (the
 # partitioned engine's parallel windows cannot beat 1.5x with GOMAXPROCS
-# pinned to 1, so the PR6 bar is only enforced when host_cpus >= 4). Any bar
+# pinned to 1, so the PR6 bar is only enforced when host_cpus >= 4), and
+# observability_overhead must stay <= 1.05. Any bar
 # missed exits 2 after all files are written. CI only validates the files'
 # schemas (the shared runners are too noisy for a perf gate); refresh on
 # quiet hardware.
@@ -327,6 +331,74 @@ jq '{commit, tail_warm_speedup_vs_cold}' "$out7" >&2
 # The PR 7 bar: warm-start sharing >= 1.5x on the tail campaign too.
 jq -e '.tail_warm_speedup_vs_cold >= 1.5' "$out7" > /dev/null || {
   echo "bench.sh: WARNING — tail-campaign warm-start speedup below the 1.5x acceptance bar" >&2
+  rc=2
+}
+
+# --- PR 8: observability overhead guard -> BENCH_PR8.json -------------------
+#
+# The Plain/Observed pair runs the identical tail campaign with no sink and
+# with the full RunLog+Progress stack streaming to io.Discard; results are
+# bit-identical, so ns_per_op(observed)/ns_per_op(plain) is exactly the
+# per-run record-stream cost. Acceptance: observability_overhead <= 1.05
+# (streaming every run's record must stay within a 5% slowdown).
+out8="${5:-BENCH_PR8.json}"
+raw8="$(mktemp)"
+trap 'rm -f "$raw" "$raw5" "$raw6" "$raw7" "$raw8"' EXIT
+
+cmd8=(go test -run '^$' -bench BenchmarkPR8 -benchmem -benchtime "$benchtime" -count "$count" .)
+echo "running: ${cmd8[*]}" >&2
+"${cmd8[@]}" | tee "$raw8" >&2
+
+# One record per benchmark: the repetition with the lowest ns/op.
+summary8="$(awk '
+  /^BenchmarkPR8/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = evs = evop = allocs = 0
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op")         ns     = $i
+      if ($(i + 1) == "sim-events/s")  evs    = $i
+      if ($(i + 1) == "sim-events/op") evop   = $i
+      if ($(i + 1) == "allocs/op")     allocs = $i
+    }
+    if (!(name in best) || ns < best[name]) {
+      best[name] = ns
+      line[name] = sprintf("{\"name\":\"%s\",\"ns_per_op\":%d,\"events_per_sec\":%d,\"sim_events_per_op\":%d,\"allocs_per_op\":%d}",
+                           name, ns, evs, evop, allocs)
+    }
+  }
+  END { for (n in line) print line[n] }
+' "$raw8")"
+
+if [ -z "$summary8" ]; then
+  echo "bench.sh: no BenchmarkPR8 results parsed" >&2
+  exit 1
+fi
+
+jq -n \
+  --arg engine "campaign observability: run-record streams + live progress (PR8)" \
+  --arg commit "$commit" \
+  --arg host "${host:-unknown}" \
+  --arg command "${cmd8[*]}" \
+  --slurpfile runs8 <(echo "$summary8") \
+  '($runs8 | map({key: .name, value: del(.name)}) | from_entries) as $b |
+   {
+    engine: $engine,
+    commit: $commit,
+    host: $host,
+    command: $command,
+    benchmarks: $b,
+    observability_overhead: (
+      ($b.BenchmarkPR8TailObserved.ns_per_op / $b.BenchmarkPR8TailPlain.ns_per_op * 1000 | round) / 1000
+    )
+  }' > "$out8"
+
+echo "wrote $out8" >&2
+jq '{commit, observability_overhead}' "$out8" >&2
+
+# The PR 8 bar: streaming per-run records costs <= 5%.
+jq -e '.observability_overhead <= 1.05' "$out8" > /dev/null || {
+  echo "bench.sh: WARNING — observability overhead above the 1.05x acceptance bar" >&2
   rc=2
 }
 
