@@ -69,14 +69,16 @@ func BenchmarkPR4EndToEnd(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, stats := flashfc.RunEndToEndBatch(cfg, flashfc.NodeFailure, 2, 7)
-		for _, r := range results {
+		out := flashfc.RunCampaign(
+			flashfc.CampaignConfig{Seed: 7, Runs: 2, Workers: cfg.Workers},
+			flashfc.EndToEndCampaign{Config: cfg, Fault: flashfc.NodeFailure})
+		for _, r := range out.Runs {
 			if r.Err != nil || !r.Value.OK() {
 				b.Fatalf("campaign run failed: %v", r.Err)
 			}
 		}
-		eventsPerSec += stats.EventsPerSec()
-		eventsPerOp += float64(stats.Events)
+		eventsPerSec += out.Stats.EventsPerSec()
+		eventsPerOp += float64(out.Stats.Events)
 	}
 	b.ReportMetric(eventsPerSec/float64(b.N), "sim-events/s")
 	b.ReportMetric(eventsPerOp/float64(b.N), "sim-events/op")

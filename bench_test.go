@@ -107,7 +107,8 @@ func benchFig56L2(b *testing.B, l2 uint64) {
 	b.Helper()
 	var wb, p4 float64
 	for i := 0; i < b.N; i++ {
-		p := flashfc.RunFig56L2([]uint64{l2}, int64(i+1), 1)[0]
+		p := flashfc.RunCampaign(flashfc.CampaignConfig{Seed: int64(i + 1), Workers: 1},
+			flashfc.Fig56L2Campaign{L2Sizes: []uint64{l2}}).Values()[0]
 		wb += p.Phases.WB.Milliseconds()
 		p4 += p.Phases.P4Time().Milliseconds()
 	}
@@ -123,7 +124,8 @@ func benchFig56Mem(b *testing.B, mem uint64) {
 	b.Helper()
 	var scan, p4 float64
 	for i := 0; i < b.N; i++ {
-		p := flashfc.RunFig56Mem([]uint64{mem}, int64(i+1), 1)[0]
+		p := flashfc.RunCampaign(flashfc.CampaignConfig{Seed: int64(i + 1), Workers: 1},
+			flashfc.Fig56MemCampaign{MemSizes: []uint64{mem}}).Values()[0]
 		scan += p.Phases.Scan.Milliseconds()
 		p4 += p.Phases.P4Time().Milliseconds()
 	}
@@ -141,7 +143,8 @@ func benchFig57(b *testing.B, cells int) {
 	b.Helper()
 	var hw, hwos float64
 	for i := 0; i < b.N; i++ {
-		pts := flashfc.RunFig57([]int{cells}, 2<<20, 256<<10, int64(i+1), 1)
+		pts := flashfc.RunCampaign(flashfc.CampaignConfig{Seed: int64(i + 1), Workers: 1},
+			flashfc.Fig57Campaign{Nodes: []int{cells}, MemBytes: 2 << 20, L2Bytes: 256 << 10}).Values()
 		if !pts[0].OK {
 			b.Fatal("run failed")
 		}
@@ -171,13 +174,15 @@ func benchCampaign(b *testing.B, workers int) {
 	cfg.Workers = workers
 	var eventsPerSec float64
 	for i := 0; i < b.N; i++ {
-		results, stats := flashfc.RunValidationBatch(cfg, flashfc.NodeFailure, 16, int64(i+1))
-		for _, r := range results {
+		out := flashfc.RunCampaign(
+			flashfc.CampaignConfig{Seed: int64(i + 1), Runs: 16, Workers: cfg.Workers},
+			flashfc.ValidationCampaign{Config: cfg, Fault: flashfc.NodeFailure})
+		for _, r := range out.Runs {
 			if r.Err != nil || !r.Value.OK() {
 				b.Fatalf("campaign run failed: %v", r.Err)
 			}
 		}
-		eventsPerSec += stats.EventsPerSec()
+		eventsPerSec += out.Stats.EventsPerSec()
 	}
 	b.ReportMetric(eventsPerSec/float64(b.N)/1e6, "sim-Mevents/s")
 }
@@ -198,11 +203,17 @@ func BenchmarkCampaignTable53(b *testing.B) {
 	cfg.Workers = 0 // one per CPU
 	var eventsPerSec float64
 	for i := 0; i < b.N; i++ {
-		rows, stats := flashfc.RunTable53(cfg, 4, int64(i+1))
-		for _, row := range rows {
-			if row.Failed != 0 {
-				b.Fatalf("%v: %d failed", row.Fault, row.Failed)
+		var stats flashfc.CampaignStats
+		for _, ft := range flashfc.AllFaultTypes() {
+			out := flashfc.RunCampaign(
+				flashfc.CampaignConfig{Seed: int64(i + 1), Runs: 4, Workers: cfg.Workers},
+				flashfc.ValidationCampaign{Config: cfg, Fault: ft})
+			for _, r := range out.Runs {
+				if r.Err != nil || !r.Value.OK() {
+					b.Fatalf("%v: run failed: %v", ft, r.Err)
+				}
 			}
+			stats.Merge(out.Stats)
 		}
 		eventsPerSec += stats.EventsPerSec()
 	}

@@ -16,8 +16,8 @@ import (
 // Campaign API splits those concerns: CampaignConfig carries the execution
 // envelope (seed, run count, parallelism, metrics, tracing) shared by every
 // campaign, a per-experiment struct carries only what that experiment
-// actually varies, and RunCampaign composes the two. The old functions
-// remain as thin deprecated wrappers over this path.
+// actually varies, and RunCampaign composes the two. The old positional
+// wrappers are gone; this is the batch entry point.
 //
 //	out := flashfc.RunCampaign(
 //	    flashfc.CampaignConfig{Seed: 1, Runs: 200, Metrics: true},
@@ -375,6 +375,8 @@ func (c EndToEndCampaign) Run(_ RunEnv, _ int, seed int64) *EndToEndResult {
 type Fig55Campaign struct {
 	Nodes []int
 	Topo  TopoKind
+	// Routing optionally names the recovery routing strategy ("" = paper).
+	Routing string
 }
 
 func (c Fig55Campaign) Stream() int { return -1 }
@@ -383,6 +385,7 @@ func (c Fig55Campaign) Run(_ RunEnv, i int, seed int64) ScalingPoint {
 	cfg := experiments.DefaultScalingConfig(c.Nodes[i])
 	cfg.Topo = c.Topo
 	cfg.Seed = seed
+	cfg.Routing = c.Routing
 	return experiments.MeasureRecovery(cfg)
 }
 
@@ -390,6 +393,8 @@ func (c Fig55Campaign) Run(_ RunEnv, i int, seed int64) ScalingPoint {
 // left): the flush component of coherence recovery scales with the L2.
 type Fig56L2Campaign struct {
 	L2Sizes []uint64
+	// Routing optionally names the recovery routing strategy ("" = paper).
+	Routing string
 }
 
 func (c Fig56L2Campaign) Stream() int { return -1 }
@@ -399,6 +404,7 @@ func (c Fig56L2Campaign) Run(_ RunEnv, i int, seed int64) ScalingPoint {
 	cfg.L2Bytes = c.L2Sizes[i]
 	cfg.MemBytes = 4 << 20
 	cfg.Seed = seed
+	cfg.Routing = c.Routing
 	p := experiments.MeasureRecovery(cfg)
 	p.X = float64(c.L2Sizes[i]) / (1 << 20)
 	return p
@@ -408,6 +414,8 @@ func (c Fig56L2Campaign) Run(_ RunEnv, i int, seed int64) ScalingPoint {
 // right): the directory-sweep component scales with memory.
 type Fig56MemCampaign struct {
 	MemSizes []uint64
+	// Routing optionally names the recovery routing strategy ("" = paper).
+	Routing string
 }
 
 func (c Fig56MemCampaign) Stream() int { return -1 }
@@ -416,6 +424,7 @@ func (c Fig56MemCampaign) Run(_ RunEnv, i int, seed int64) ScalingPoint {
 	cfg := experiments.DefaultScalingConfig(4)
 	cfg.MemBytes = c.MemSizes[i]
 	cfg.Seed = seed
+	cfg.Routing = c.Routing
 	p := experiments.MeasureRecovery(cfg)
 	p.X = float64(c.MemSizes[i]) / (1 << 20)
 	return p

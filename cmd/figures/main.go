@@ -32,6 +32,7 @@ func main() {
 	cf := cliflags.Register(flag.CommandLine, cliflags.Defaults{Runs: 12})
 	flag.Parse()
 	cf.WarnTraceIgnored()
+	cf.CheckRouting()
 
 	switch *fig {
 	case "5.5":
@@ -61,7 +62,7 @@ func fig55(cf *cliflags.Flags) {
 	ccfg.Observe = sink
 	var events uint64
 	var snaps []*flashfc.MetricsSnapshot
-	mesh := flashfc.RunCampaign(ccfg, flashfc.Fig55Campaign{Nodes: nodes, Topo: flashfc.TopoMesh})
+	mesh := flashfc.RunCampaign(ccfg, flashfc.Fig55Campaign{Nodes: nodes, Topo: flashfc.TopoMesh, Routing: cf.Routing})
 	for _, p := range mesh.Values() {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %12v %8d\n",
@@ -71,7 +72,7 @@ func fig55(cf *cliflags.Flags) {
 	snaps = append(snaps, mesh.Metrics)
 	fmt.Println("\nhypercube topology (the dissemination phase grows with the diameter):")
 	fmt.Printf("%6s %12s %12s %12s %8s\n", "nodes", "P1", "P1,2", "total", "rounds")
-	cube := flashfc.RunCampaign(ccfg, flashfc.Fig55Campaign{Nodes: nodes, Topo: flashfc.TopoHypercube})
+	cube := flashfc.RunCampaign(ccfg, flashfc.Fig55Campaign{Nodes: nodes, Topo: flashfc.TopoHypercube, Routing: cf.Routing})
 	for _, p := range cube.Values() {
 		ph := p.Phases
 		fmt.Printf("%6d %12v %12v %12v %8d\n", p.Nodes, ph.P1, ph.P12, ph.Total, ph.MaxRounds)
@@ -104,6 +105,7 @@ func fig56(cf *cliflags.Flags) {
 	var snaps []*flashfc.MetricsSnapshot
 	l2 := flashfc.RunCampaign(ccfg, flashfc.Fig56L2Campaign{
 		L2Sizes: []uint64{512 << 10, 1 << 20, 2 << 20, 4 << 20},
+		Routing: cf.Routing,
 	})
 	for _, p := range l2.Values() {
 		ph := p.Phases
@@ -115,6 +117,7 @@ func fig56(cf *cliflags.Flags) {
 	fmt.Printf("%10s %12s %12s\n", "mem [MB]", "scan", "P4 total")
 	mem := flashfc.RunCampaign(ccfg, flashfc.Fig56MemCampaign{
 		MemSizes: []uint64{1 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20},
+		Routing:  cf.Routing,
 	})
 	for _, p := range mem.Values() {
 		ph := p.Phases
@@ -164,9 +167,9 @@ func dist(cf *cliflags.Flags) {
 	ccfg := cf.Config()
 	ccfg.Observe = sink
 	for _, n := range []int{8, 32, 64} {
-		out := flashfc.RunCampaign(ccfg, flashfc.DistributionCampaign{
-			Config: flashfc.DefaultScalingConfig(n),
-		})
+		scfg := flashfc.DefaultScalingConfig(n)
+		scfg.Routing = cf.Routing
+		out := flashfc.RunCampaign(ccfg, flashfc.DistributionCampaign{Config: scfg})
 		d := flashfc.SummarizeRecovery(n, out)
 		fmt.Printf("%6d %12.2f /%6.2f /%6.2f %12.2f /%6.2f /%6.2f\n",
 			n, d.P2.Min, d.P2.Median, d.P2.Max, d.Total.Min, d.Total.Median, d.Total.Max)

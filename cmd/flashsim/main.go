@@ -9,6 +9,7 @@
 //	flashsim -nodes 16 -fault fail-slow         link, slow MAGIC engine,
 //	flashsim -nodes 16 -fault cpu-fail          CPU dies but memory survives)
 //	flashsim -fault router -runs 100 -parallel 8   (multi-seed campaign)
+//	flashsim -fault link -routing incremental      (alternate recovery routing)
 //	flashsim -nodes 4 -fault node -metrics-json | jq .counters
 //	flashsim -nodes 4 -fault node -trace-json trace.json   (Perfetto spans)
 //	flashsim -nodes 4 -fault node -trace-critical          (latency budget)
@@ -85,7 +86,9 @@ func main() {
 	}
 
 	cf.WarnOversubscribed()
+	cf.CheckRouting()
 	cfg := flashfc.DefaultValidationConfig()
+	cfg.Routing = cf.Routing
 	cfg.Nodes = *nodes
 	cfg.MemBytes = *mem
 	cfg.L2Bytes = *l2
@@ -369,6 +372,7 @@ func runCompound(cfg flashfc.ValidationConfig, kind string, seed int64, topts tr
 	mc.Seed = seed
 	mc.MemBytes = cfg.MemBytes
 	mc.L2Bytes = cfg.L2Bytes
+	mc.Routing = cfg.Routing
 	mc.Trace = topts.tracer
 	m := flashfc.NewMachine(mc)
 	var fs []flashfc.Fault

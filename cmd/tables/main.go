@@ -4,6 +4,7 @@
 //	tables -table 5.4 [-runs 1187] [-legacy-bug] [-seed 1] [-workers N]
 //	tables -table tail [-runs 1000] [-seed 1] [-workers N]
 //	tables -table tail -full -run-log runs.jsonl -progress -exemplars out/
+//	tables -table routing [-runs 100] [-seed 1] [-workers N]
 //
 // Table 5.3 (validation): stand-alone cache-fill runs per fault type; the
 // paper reports 200 runs per type with zero failures.
@@ -26,6 +27,14 @@
 // simulated-event throughput. -metrics appends the campaign's aggregate
 // metric registry (every run's machine-wide snapshot, merged).
 //
+// Table routing (head-to-head strategies): every registered recovery
+// routing strategy replays the identical warm-forked fault sequences —
+// single-link, router, and multi-link scenarios — and the table compares
+// recovery time, the P3 (reroute) share, packets lost, post-recovery verify
+// throughput, and deadlock freedom (CDG acyclicity of the installed
+// tables). The 5.3/5.4/tail tables instead honor -routing NAME to run one
+// strategy everywhere.
+//
 // -run-log streams one JSONL record per run (ordered by run index,
 // byte-identical at any -workers/-partitions), -progress reports live
 // campaign progress on stderr, and -exemplars DIR replays the exact runs
@@ -44,12 +53,13 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "5.3", "table to regenerate: 5.3, 5.4, or tail")
+	table := flag.String("table", "5.3", "table to regenerate: 5.3, 5.4, tail, or routing")
 	legacy := flag.Bool("legacy-bug", false, "reenable the paper's incoherent-line OS bugs (5.4)")
 	full := flag.Bool("full", false, "paper-scale run counts (200/type for 5.3; ~300/type for 5.4)")
 	cf := cliflags.Register(flag.CommandLine, cliflags.Defaults{Runs: 0})
 	flag.Parse()
 	cf.WarnTraceIgnored()
+	cf.CheckRouting()
 
 	switch *table {
 	case "5.3":
@@ -76,6 +86,14 @@ func main() {
 			}
 		}
 		tableTail(cf)
+	case "routing":
+		if cf.Runs == 0 {
+			cf.Runs = 25
+			if *full {
+				cf.Runs = flashfc.DefaultRoutingConfig().Runs
+			}
+		}
+		tableRouting(cf)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
@@ -86,6 +104,7 @@ func table53(cf *cliflags.Flags) {
 	fmt.Printf("Table 5.3 — validation experiments (%d runs per fault type)\n\n", cf.Runs)
 	fmt.Printf("%-38s %12s %12s\n", "Injected fault type", "# of exp.", "# failed")
 	vcfg := flashfc.DefaultValidationConfig()
+	vcfg.Routing = cf.Routing
 	names := map[flashfc.FaultType]string{
 		flashfc.NodeFailure:   "Node failure",
 		flashfc.RouterFailure: "Router failure",
@@ -126,6 +145,7 @@ func table53(cf *cliflags.Flags) {
 func tableTail(cf *cliflags.Flags) {
 	fmt.Printf("Containment-time tail — degradation fault classes (%d runs per scenario)\n\n", cf.Runs)
 	cfg := flashfc.DefaultTailConfig()
+	cfg.Routing = cf.Routing
 	cfg.Runs = cf.Runs
 	cfg.Workers = cf.Workers
 	cfg.Partitions = cf.Partitions
@@ -199,6 +219,50 @@ func emitCampaignMetrics(snaps []*flashfc.MetricsSnapshot, show bool) {
 	flashfc.MergeMetrics(snaps).WriteTable(os.Stdout)
 }
 
+// tableRouting runs the head-to-head strategy campaign: every registered
+// routing strategy replays the identical fault sequences per scenario, so
+// rows within a scenario are directly comparable.
+func tableRouting(cf *cliflags.Flags) {
+	fmt.Printf("Routing strategies head-to-head (%d runs per scenario per strategy)\n\n", cf.Runs)
+	cfg := flashfc.DefaultRoutingConfig()
+	cfg.Routing = "" // strategies come from the campaign's own sweep
+	cfg.Runs = cf.Runs
+	cfg.Workers = cf.Workers
+	cfg.Partitions = cf.Partitions
+	cfg.RegionLinkExtra = flashfc.Time(cf.RegionExtra)
+	if !cf.WarmStart {
+		cfg.WarmStart = flashfc.WarmStartOff
+	}
+	res := flashfc.RunRoutingCampaign(cfg, cf.Seed)
+	bad, cyclic := 0, 0
+	for _, sc := range res.Scenarios {
+		fmt.Printf("scenario: %s\n", sc.Spec.Name)
+		t := stats.NewTable("Strategy", "runs", "failed", "deadlock", "rec p50", "rec p99", "P3 p50", "lost", "thr p50")
+		for _, c := range sc.Cells {
+			dl := "none"
+			if c.Deadlocks > 0 {
+				dl = fmt.Sprintf("%d CYCLIC", c.Deadlocks)
+			}
+			t.AddRow(c.Strategy, fmt.Sprint(c.Runs), fmt.Sprint(c.Failed), dl,
+				c.RecoveryP50.String(), c.RecoveryP99.String(), c.P3P50.String(),
+				fmt.Sprintf("%.1f", c.LostMean),
+				fmt.Sprintf("%.0f lines/ms", c.ThroughputP50))
+			bad += c.Failed
+			cyclic += c.Deadlocks
+		}
+		fmt.Print(t)
+		fmt.Println()
+	}
+	fmt.Printf("throughput: %v\n", res.Stats)
+	if cyclic > 0 {
+		fmt.Fprintf(os.Stderr, "routing: %d runs installed cyclic tables (deadlock possible)\n", cyclic)
+		os.Exit(1)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
 func table54(cf *cliflags.Flags, legacy bool) {
 	mode := "fixed OS"
 	if legacy {
@@ -208,6 +272,7 @@ func table54(cf *cliflags.Flags, legacy bool) {
 	fmt.Printf("%-38s %12s %12s\n", "Injected fault type", "# of exp.", "# failed")
 	ecfg := flashfc.DefaultEndToEndConfig()
 	ecfg.LegacyIncoherentBug = legacy
+	ecfg.Routing = cf.Routing
 	types := []flashfc.FaultType{
 		flashfc.NodeFailure, flashfc.RouterFailure, flashfc.LinkFailure, flashfc.InfiniteLoop,
 	}

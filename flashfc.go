@@ -20,9 +20,11 @@
 //   - NewHive partitions a machine into Hive cells over hardware failure
 //     units, with firewalled kernel pages, exactly-once inter-cell RPC and
 //     OS recovery (§3.3, §4.6); NewParallelMake builds the §5.1 workload.
-//   - The experiment drivers (RunValidation, RunTable53, RunEndToEnd,
-//     RunTable54, RunFig55, RunFig56L2, RunFig56Mem, RunFig57, and the
-//     ablations) regenerate every table and figure of §5.
+//   - The experiment drivers regenerate every table and figure of §5:
+//     single runs through RunValidation / RunEndToEnd, batches and sweeps
+//     through RunCampaign with the per-family campaign structs
+//     (ValidationCampaign, EndToEndCampaign, Fig55Campaign, …), and the
+//     specialty campaigns through RunTailCampaign / RunRoutingCampaign.
 //
 // A minimal session:
 //
@@ -46,6 +48,7 @@ import (
 	"flashfc/internal/magic"
 	"flashfc/internal/metrics"
 	"flashfc/internal/proc"
+	"flashfc/internal/routing"
 	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/stats"
@@ -410,77 +413,11 @@ func RunPartitionBoundaryFault(cfg PartitionConfig, seed int64) *ValidationResul
 	return experiments.PartitionBoundaryFault(cfg, seed)
 }
 
-// RunValidationBatch runs a parallel batch of validation experiments of
-// one fault type (cfg.Workers goroutines), returning per-run results in
-// run order plus throughput accounting.
-//
-// Deprecated: use RunCampaign with a ValidationCampaign.
-func RunValidationBatch(cfg ValidationConfig, ft FaultType, runs int, seed int64) ([]ValidationRun, CampaignStats) {
-	out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
-		ValidationCampaign{Config: cfg, Fault: ft})
-	return toRunnerResults(out.Runs), out.Stats
-}
-
-// RunTable53 regenerates Table 5.3: `runs` validation experiments per fault
-// type (on cfg.Workers goroutines), counting failures.
-//
-// Deprecated: use RunCampaign with a ValidationCampaign per fault type and
-// aggregate with Table53Row.
-func RunTable53(cfg ValidationConfig, runs int, seed int64) ([]Table53Row, CampaignStats) {
-	var rows []Table53Row
-	var total CampaignStats
-	for _, ft := range AllFaultTypes() {
-		out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
-			ValidationCampaign{Config: cfg, Fault: ft})
-		row := Table53Row{Fault: ft, Runs: runs}
-		snaps := make([]*MetricsSnapshot, 0, len(out.Runs))
-		for _, r := range out.Runs {
-			if r.Err != nil || !r.Value.OK() {
-				row.Failed++
-			}
-			if r.Err == nil {
-				snaps = append(snaps, r.Value.Metrics)
-			}
-		}
-		row.Metrics = MergeMetrics(snaps)
-		total.Merge(out.Stats)
-		rows = append(rows, row)
-	}
-	return rows, total
-}
-
 // DefaultScalingConfig returns the Fig 5.5 measurement setup for n nodes.
 func DefaultScalingConfig(nodes int) ScalingConfig { return experiments.DefaultScalingConfig(nodes) }
 
 // MeasureRecovery injects a node failure and aggregates per-phase times.
 func MeasureRecovery(cfg ScalingConfig) ScalingPoint { return experiments.MeasureRecovery(cfg) }
-
-// RunFig55 sweeps the node counts of Fig 5.5 on up to `workers`
-// goroutines (0 = one per CPU).
-//
-// Deprecated: use RunCampaign with a Fig55Campaign.
-func RunFig55(nodes []int, topo TopoKind, seed int64, workers int) []ScalingPoint {
-	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
-		Fig55Campaign{Nodes: nodes, Topo: topo}).Values()
-}
-
-// RunFig56L2 sweeps the L2 size at 4 nodes (Fig 5.6 left); each point's X
-// is the swept size in MB.
-//
-// Deprecated: use RunCampaign with a Fig56L2Campaign.
-func RunFig56L2(l2Sizes []uint64, seed int64, workers int) []ScalingPoint {
-	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
-		Fig56L2Campaign{L2Sizes: l2Sizes}).Values()
-}
-
-// RunFig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right);
-// each point's X is the swept size in MB.
-//
-// Deprecated: use RunCampaign with a Fig56MemCampaign.
-func RunFig56Mem(memSizes []uint64, seed int64, workers int) []ScalingPoint {
-	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
-		Fig56MemCampaign{MemSizes: memSizes}).Values()
-}
 
 // DefaultEndToEndConfig returns the §5.1 end-to-end setup.
 func DefaultEndToEndConfig() EndToEndConfig { return experiments.DefaultEndToEndConfig() }
@@ -488,55 +425,6 @@ func DefaultEndToEndConfig() EndToEndConfig { return experiments.DefaultEndToEnd
 // RunEndToEnd performs one Table 5.4 end-to-end experiment.
 func RunEndToEnd(cfg EndToEndConfig, ft FaultType, seed int64) *EndToEndResult {
 	return experiments.EndToEnd(cfg, ft, seed)
-}
-
-// RunEndToEndBatch runs a parallel batch of end-to-end experiments of one
-// fault type (cfg.Workers goroutines).
-//
-// Deprecated: use RunCampaign with an EndToEndCampaign.
-func RunEndToEndBatch(cfg EndToEndConfig, ft FaultType, runs int, seed int64) ([]EndToEndRun, CampaignStats) {
-	out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
-		EndToEndCampaign{Config: cfg, Fault: ft})
-	return toRunnerResults(out.Runs), out.Stats
-}
-
-// RunTable54 regenerates Table 5.4 with the given runs per fault type (on
-// cfg.Workers goroutines).
-//
-// Deprecated: use RunCampaign with an EndToEndCampaign per fault type and
-// aggregate with Table54Row.
-func RunTable54(cfg EndToEndConfig, runsPer map[FaultType]int, seed int64) ([]Table54Row, CampaignStats) {
-	types := []FaultType{NodeFailure, RouterFailure, LinkFailure, InfiniteLoop}
-	var rows []Table54Row
-	var total CampaignStats
-	for _, ft := range types {
-		runs := runsPer[ft]
-		out := RunCampaign(CampaignConfig{Seed: seed, Runs: runs, Workers: cfg.Workers},
-			EndToEndCampaign{Config: cfg, Fault: ft})
-		row := Table54Row{Fault: ft, Runs: runs}
-		snaps := make([]*MetricsSnapshot, 0, len(out.Runs))
-		for _, r := range out.Runs {
-			if r.Err != nil || !r.Value.OK() {
-				row.Failed++
-			}
-			if r.Err == nil {
-				snaps = append(snaps, r.Value.Metrics)
-			}
-		}
-		row.Metrics = MergeMetrics(snaps)
-		total.Merge(out.Stats)
-		rows = append(rows, row)
-	}
-	return rows, total
-}
-
-// RunFig57 measures user-process suspension times (Fig 5.7) on up to
-// `workers` goroutines.
-//
-// Deprecated: use RunCampaign with a Fig57Campaign.
-func RunFig57(nodes []int, memBytes, l2Bytes uint64, seed int64, workers int) []Fig57Point {
-	return RunCampaign(CampaignConfig{Seed: seed, Workers: workers},
-		Fig57Campaign{Nodes: nodes, MemBytes: memBytes, L2Bytes: l2Bytes}).Values()
 }
 
 // FirewallLatency measures an intercell write-miss latency with the
@@ -557,13 +445,38 @@ func TriggerLatency(nodes int, speculative bool, seed int64) Time {
 // RecoveryDistribution summarizes per-phase recovery times across seeds.
 type RecoveryDistribution = experiments.Distribution
 
-// RunRecoveryDistribution measures recovery times over `seeds` independent
-// runs with random fault placements.
-//
-// Deprecated: use RunCampaign with a DistributionCampaign and summarize
-// with SummarizeRecovery.
-func RunRecoveryDistribution(cfg ScalingConfig, seeds int) RecoveryDistribution {
-	out := RunCampaign(CampaignConfig{Seed: cfg.Seed, Runs: seeds, Workers: cfg.Workers},
-		DistributionCampaign{Config: cfg})
-	return SummarizeRecovery(cfg.Nodes, out)
+// Head-to-head routing campaigns: the same faulted runs replayed under
+// every registered interconnect-recovery routing strategy (see
+// internal/routing), comparing recovery time, its P3 share, packets lost,
+// post-recovery throughput, and deadlock freedom of the installed tables.
+type (
+	// RoutingConfig shapes a head-to-head routing campaign.
+	RoutingConfig = experiments.RoutingConfig
+	// RoutingScenarioSpec is one fault shape a routing campaign replays.
+	RoutingScenarioSpec = experiments.RoutingScenarioSpec
+	// RoutingScenario is one fault shape's head-to-head comparison.
+	RoutingScenario = experiments.RoutingScenario
+	// RoutingCell aggregates one (scenario, strategy) batch.
+	RoutingCell = experiments.RoutingCell
+	// RoutingResult is a full head-to-head routing campaign.
+	RoutingResult = experiments.RoutingResult
+)
+
+// RoutingStrategies lists the registered recovery-routing strategies
+// ("adaptive", "incremental", "paper"); pass one to
+// MachineConfig.Routing, ValidationConfig.Routing, or the CLIs' -routing.
+func RoutingStrategies() []string { return routing.Names() }
+
+// DefaultRoutingConfig returns the default head-to-head setup: the
+// validation machine, every registered strategy, the default single-link /
+// router / multi-link scenarios.
+func DefaultRoutingConfig() RoutingConfig { return experiments.DefaultRoutingConfig() }
+
+// RunRoutingCampaign runs the head-to-head routing comparison: for each
+// scenario, every strategy replays the identical warm-forked faulted runs
+// (the seed stream never involves the strategy), so per-cell differences
+// are pure strategy effects. Bit-identical for any worker count and
+// warm-start mode.
+func RunRoutingCampaign(cfg RoutingConfig, seed int64) *RoutingResult {
+	return experiments.RoutingCampaign(cfg, seed)
 }

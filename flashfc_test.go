@@ -79,7 +79,10 @@ func TestPublicParallelCampaign(t *testing.T) {
 	cfg.L2Bytes = 16 << 10
 	cfg.FillLines = 48
 	cfg.Workers = 4
-	results, stats := flashfc.RunValidationBatch(cfg, flashfc.NodeFailure, 6, 1)
+	out := flashfc.RunCampaign(
+		flashfc.CampaignConfig{Seed: 1, Runs: 6, Workers: cfg.Workers},
+		flashfc.ValidationCampaign{Config: cfg, Fault: flashfc.NodeFailure})
+	results, stats := out.Runs, out.Stats
 	if len(results) != 6 || stats.Runs != 6 || stats.Failed != 0 {
 		t.Fatalf("batch: %d results, stats %+v", len(results), stats)
 	}

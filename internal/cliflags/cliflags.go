@@ -24,6 +24,10 @@
 //	-warmstart         share warmed machine snapshots across a batch's runs
 //	                   (default true; false rebuilds warm state per run —
 //	                   bit-identical, just slower)
+//	-routing NAME      interconnect-recovery routing strategy: paper
+//	                   (dim-order + full drain + up*/down*, the default),
+//	                   adaptive (fault-region-aware, no drain), or
+//	                   incremental (patch broken routes, partial drain)
 //	-run-log FILE      stream one JSONL record per campaign run, ordered by
 //	                   run index; byte-identical at any -parallel or
 //	                   -partitions setting
@@ -83,6 +87,11 @@ type Flags struct {
 
 	WarmStart bool
 
+	// Routing is the interconnect-recovery routing strategy name ("" and
+	// "paper" run the paper's byte-identical dim-order + full-drain +
+	// up*/down* pipeline). CheckRouting validates it after parse.
+	Routing string
+
 	// RunLog is the -run-log path: one JSONL record per campaign run,
 	// ordered by run index (empty = off). RunLogHost keeps the host-side
 	// fields (wall_ns, worker) instead of zeroing them.
@@ -118,6 +127,7 @@ func Register(fs *flag.FlagSet, def Defaults) *Flags {
 	fs.StringVar(&f.TraceJSON, "trace-json", "", "write the recovery span tree as Chrome trace-event JSON to `file` (single runs)")
 	fs.BoolVar(&f.TraceCritical, "trace-critical", false, "print the recovery critical-path report (single runs)")
 	fs.BoolVar(&f.WarmStart, "warmstart", true, "share warmed machine snapshots across a batch's runs (false: rebuild per run; bit-identical)")
+	fs.StringVar(&f.Routing, "routing", "", "recovery routing `strategy`: "+strategyList()+" (default paper)")
 	fs.StringVar(&f.RunLog, "run-log", "", "stream one JSONL record per campaign run to `file`, ordered by run index (byte-identical at any -parallel/-partitions)")
 	fs.BoolVar(&f.RunLogHost, "run-log-host", false, "keep host-side run-log fields (wall_ns, worker) instead of zeroing them; breaks byte-identity across worker counts")
 	fs.BoolVar(&f.Progress, "progress", false, "live campaign progress on stderr (runs done/total, events/sec, failures, ETA)")
@@ -143,6 +153,36 @@ func (f *Flags) Config() flashfc.CampaignConfig {
 		Metrics:   f.Metrics || f.MetricsJSON,
 		WarmStart: warm,
 	}
+}
+
+// strategyList joins the registered routing strategy names for flag usage
+// text.
+func strategyList() string {
+	names := flashfc.RoutingStrategies()
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += "|"
+		}
+		s += n
+	}
+	return s
+}
+
+// CheckRouting validates the -routing flag against the strategy registry
+// and exits with a friendly error naming the alternatives when the name is
+// unknown. Call it once after fs.Parse.
+func (f *Flags) CheckRouting() {
+	if f.Routing == "" || f.Routing == "paper" {
+		return
+	}
+	for _, n := range flashfc.RoutingStrategies() {
+		if f.Routing == n {
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown -routing %q; registered strategies: %s\n", f.Routing, strategyList())
+	os.Exit(2)
 }
 
 // StartProfiles starts the profiles the flags requested and returns a stop

@@ -6,6 +6,7 @@ import (
 	"flashfc/internal/interconnect"
 	"flashfc/internal/magic"
 	"flashfc/internal/metrics"
+	"flashfc/internal/routing"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
 	"flashfc/internal/topology"
@@ -131,6 +132,13 @@ type Config struct {
 	// MAGIC. Normal-mode behaviour is unchanged.
 	HardwiredController bool
 
+	// Routing selects the interconnect-recovery routing strategy P3 runs:
+	// its drain discipline, table repair, and per-entry reprogramming
+	// charge. nil is the paper's policy (full two-phase drain + complete
+	// up*/down* rewrite) on the exact pre-strategy code path, keeping
+	// every golden byte-identical.
+	Routing routing.Strategy
+
 	// Metrics, when non-nil, receives machine-wide recovery-algorithm
 	// counters (gossip rounds, BFT bound growth, drain attempts/restarts,
 	// watchdog restarts). Shared by every agent of one machine.
@@ -235,6 +243,11 @@ type Agent struct {
 	mDrainAttempts *metrics.Counter
 	mDrainRestarts *metrics.Counter
 	mRestarts      *metrics.Counter
+	// Strategy-only instruments, registered exclusively when a non-nil
+	// routing strategy is configured so the paper path's metric snapshots
+	// stay byte-identical.
+	mRoutesPatched  *metrics.Counter
+	mRouteFallbacks *metrics.Counter
 
 	// Open trace spans (0 when absent or tracing disabled).
 	spNode      trace.SpanID // this epoch's node-recovery span
@@ -260,6 +273,10 @@ func NewAgent(e *sim.Engine, net *interconnect.Network, ctrl *magic.Controller,
 	a.mDrainAttempts = cfg.Metrics.Counter("core.drain_attempts")
 	a.mDrainRestarts = cfg.Metrics.Counter("core.drain_restarts")
 	a.mRestarts = cfg.Metrics.Counter("core.recovery_restarts")
+	if cfg.Routing != nil {
+		a.mRoutesPatched = cfg.Metrics.Counter("core.routes_patched")
+		a.mRouteFallbacks = cfg.Metrics.Counter("core.route_fallbacks")
+	}
 	ctrl.SetTriggerHandler(a.Trigger)
 	ctrl.SetRecoveryHandler(a.handlePacket)
 	return a

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"flashfc/internal/routing"
 	"flashfc/internal/timing"
 	"flashfc/internal/topology"
 )
@@ -11,6 +12,14 @@ import (
 // the stalled traffic drain (two-phase agreement with the τ bound), then
 // reprogram the routing tables deadlock-free and barrier before any new
 // coherence traffic is injected.
+//
+// The drain discipline and the table repair are owned by the configured
+// routing.Strategy. A nil strategy is the paper's policy on the exact
+// pre-strategy code path — full two-phase drain, complete up*/down*
+// rewrite, identical charges, barrier names, spans and counters — so every
+// pre-existing golden stays byte-identical. Alternatives swap in a
+// single-phase drain (DrainPartial) or none at all (DrainNone) and charge
+// reprogramming per entry actually patched.
 
 func (a *Agent) startInterconnectRecovery() {
 	a.setPhase(PhaseInterconnect)
@@ -41,8 +50,44 @@ func (a *Agent) startInterconnectRecovery() {
 				}
 			}
 		}
-		a.startDrain(0)
+		a.startDrainPhase()
 	})
+}
+
+// startDrainPhase enters the drain discipline the routing strategy asks
+// for (the paper's full two-phase agreement by default).
+func (a *Agent) startDrainPhase() {
+	kind := routing.DrainFull
+	if a.cfg.Routing != nil {
+		kind = a.cfg.Routing.Drain()
+	}
+	switch kind {
+	case routing.DrainNone:
+		// Tables change under live traffic; in-flight packets reroute
+		// mid-journey or die against the new discards.
+		a.reprogramRoutes()
+	case routing.DrainPartial:
+		a.startPartialDrain()
+	default:
+		a.startDrain(0)
+	}
+}
+
+// startPartialDrain is the single-phase discipline: wait for τ of
+// normal-lane silence, then one barrier. There is no confirm phase, so a
+// packet that raced the vote may still be in flight when tables change.
+func (a *Agent) startPartialDrain() {
+	a.mDrainAttempts.Inc()
+	tr := a.cfg.Trace
+	spDrain := tr.Begin(a.E.Now(), a.ID, "drain-attempt", a.spPhase, 0)
+	spVote := tr.Begin(a.E.Now(), a.ID, "drain-tau-vote", spDrain, 0)
+	a.startBarrier("drain-a#0", func(bool) {
+		now := a.E.Now()
+		tr.End(now, spVote)
+		tr.End(now, spDrain)
+		a.reprogramRoutes()
+	})
+	a.drainQuietCheck("drain-a#0", 0)
 }
 
 // isolateRouter configures discards on every port of r that points at a
@@ -106,18 +151,33 @@ func (a *Agent) drainQuietCheck(name string, attempt int) {
 	a.E.After(a.cfg.DrainTau, check)
 }
 
-// reprogramRoutes computes the up*/down* tables on the surviving graph and
-// installs this node's router row (the root also handles dead nodes' live
-// routers), then barriers before new traffic is allowed (§4.4).
+// reprogramRoutes computes the strategy's repair on the surviving graph
+// (the paper's: full up*/down* tables) and installs this node's router row
+// (the root also handles dead nodes' live routers), then barriers before
+// new traffic is allowed (§4.4). The paper path charges a full-row rewrite;
+// strategies charge per entry their repair actually patched.
 func (a *Agent) reprogramRoutes() {
 	n := a.Topo.Routers()
+	strat := a.cfg.Routing
+	var rep routing.Repair
 	charge := n * timing.InstrRouteTablePerEntry
+	if strat != nil {
+		rep = strat.RepairTables(a.view, a.bft)
+		charge = rep.PatchedPerRouter[a.ID] * timing.InstrRouteTablePerEntry
+		a.mRoutesPatched.Add(uint64(rep.PatchedPerRouter[a.ID]))
+		if rep.Fallback {
+			a.mRouteFallbacks.Inc()
+		}
+	}
 	if a.ID == a.root {
 		charge *= 2 // rows for orphaned routers too
 	}
 	spRoutes := a.cfg.Trace.Begin(a.E.Now(), a.ID, "route-reprogram", a.spPhase, 0)
 	a.execInstr(charge, func() {
-		tables := topology.UpDownTables(a.view, a.bft)
+		tables := rep.Tables
+		if strat == nil {
+			tables = topology.UpDownTables(a.view, a.bft)
+		}
 		a.Net.SetRouterTable(a.ID, tables[a.ID])
 		if a.ID == a.root {
 			for r := 0; r < n; r++ {

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"flashfc/internal/fault"
+	"flashfc/internal/machine"
+	"flashfc/internal/metrics"
+	"flashfc/internal/runner"
+)
+
+// Test-local stand-ins for the removed pre-campaign batch wrappers
+// (ValidationBatch, Table53, Fig55, Fig56L2, Fig56Mem): they reproduce the
+// exact seed streams and aggregation of the originals so the determinism,
+// metrics and scaling assertions keep pinning the same computations.
+
+func validationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*ValidationResult], runner.Stats) {
+	return WarmValidationBatch(cfg, ft, runs, seed)
+}
+
+func table53(cfg ValidationConfig, runs int, seed int64) ([]Table53Row, runner.Stats) {
+	var rows []Table53Row
+	var total runner.Stats
+	for _, ft := range fault.AllTypes() {
+		row := Table53Row{Fault: ft, Runs: runs}
+		results, stats := validationBatch(cfg, ft, runs, seed)
+		snaps := make([]*metrics.Snapshot, 0, len(results))
+		for _, r := range results {
+			if r.Err != nil || !r.Value.OK() {
+				row.Failed++
+			}
+			if r.Err == nil {
+				snaps = append(snaps, r.Value.Metrics)
+			}
+		}
+		row.Metrics = runner.MergeMetrics(snaps)
+		total.Merge(stats)
+		rows = append(rows, row)
+	}
+	return rows, total
+}
+
+func fig55(nodeCounts []int, topo machine.TopoKind, seed int64, workers int) []ScalingPoint {
+	return runner.Map(len(nodeCounts), workers, func(i int) ScalingPoint {
+		cfg := DefaultScalingConfig(nodeCounts[i])
+		cfg.Topo = topo
+		cfg.Seed = seed
+		return MeasureRecovery(cfg)
+	})
+}
+
+func fig56L2(l2Sizes []uint64, seed int64, workers int) []ScalingPoint {
+	return runner.Map(len(l2Sizes), workers, func(i int) ScalingPoint {
+		cfg := DefaultScalingConfig(4)
+		cfg.L2Bytes = l2Sizes[i]
+		cfg.MemBytes = 4 << 20
+		cfg.Seed = seed
+		p := MeasureRecovery(cfg)
+		p.X = float64(l2Sizes[i]) / (1 << 20)
+		return p
+	})
+}
+
+func fig56Mem(memSizes []uint64, seed int64, workers int) []ScalingPoint {
+	return runner.Map(len(memSizes), workers, func(i int) ScalingPoint {
+		cfg := DefaultScalingConfig(4)
+		cfg.MemBytes = memSizes[i]
+		cfg.Seed = seed
+		p := MeasureRecovery(cfg)
+		p.X = float64(memSizes[i]) / (1 << 20)
+		return p
+	})
+}

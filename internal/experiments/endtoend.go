@@ -22,6 +22,9 @@ type EndToEndConfig struct {
 	// LegacyIncoherentBug reenables the paper's OS bugs (Table 5.4's 99
 	// failed runs); with it off, the fixed OS passes cleanly.
 	LegacyIncoherentBug bool
+	// Routing names the recovery routing strategy ("" or "paper" keeps the
+	// byte-identical pre-strategy pipeline).
+	Routing string
 	// InjectWindow bounds the random injection time within the run.
 	InjectMin, InjectMax sim.Time
 	Deadline             sim.Time
@@ -79,6 +82,7 @@ func (r *EndToEndResult) OK() bool {
 // parallel make, inject the fault at a random time, and evaluate.
 func EndToEnd(cfg EndToEndConfig, ft fault.Type, seed int64) *EndToEndResult {
 	mc := hive.MachineConfig(cfg.Cells, cfg.NodesPerCell, cfg.MemBytes, cfg.L2Bytes, seed)
+	mc.Routing = cfg.Routing
 	m := machine.New(mc)
 	hcfg := hive.DefaultConfig(cfg.Cells)
 	hcfg.LegacyIncoherentBug = cfg.LegacyIncoherentBug
@@ -146,47 +150,9 @@ type Table54Row struct {
 	Metrics *metrics.Snapshot
 }
 
-// EndToEndBatch runs `runs` independent end-to-end experiments of one
-// fault type on a cfg.Workers-wide pool; per-run seeds come from
-// runner.DeriveSeed(seed, StreamEndToEnd+ft, i), so results are
-// bit-identical for any worker count, and a panicking run becomes a
-// failed Result instead of aborting the batch.
-func EndToEndBatch(cfg EndToEndConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*EndToEndResult], runner.Stats) {
-	return runner.Campaign(runs, cfg.Workers, func(i int, rec *runner.Recorder) *EndToEndResult {
-		r := EndToEnd(cfg, ft, runner.DeriveSeed(seed, runner.StreamEndToEnd+int(ft), i))
-		rec.Report(r.Events)
-		return r
-	}, nil)
-}
-
-// Table54 reproduces the paper's Table 5.4: repeated end-to-end runs per
-// fault type (node, router, link, infinite loop), counting failed
-// experiments, plus the campaign's aggregate host-side throughput. With
-// cfg.LegacyIncoherentBug the failure counts land near the paper's 8.4%;
-// without it the fixed OS passes. A run that panics counts as failed.
-func Table54(cfg EndToEndConfig, runsPer map[fault.Type]int, seed int64) ([]Table54Row, runner.Stats) {
-	types := []fault.Type{fault.NodeFailure, fault.RouterFailure, fault.LinkFailure, fault.InfiniteLoop}
-	var rows []Table54Row
-	var total runner.Stats
-	for _, ft := range types {
-		runs := runsPer[ft]
-		row := Table54Row{Fault: ft, Runs: runs}
-		results, stats := EndToEndBatch(cfg, ft, runs, seed)
-		snaps := make([]*metrics.Snapshot, 0, len(results))
-		for _, r := range results {
-			if r.Err != nil || !r.Value.OK() {
-				row.Failed++
-			}
-			if r.Err == nil {
-				snaps = append(snaps, r.Value.Metrics)
-			}
-		}
-		row.Metrics = runner.MergeMetrics(snaps)
-		total.Merge(stats)
-		rows = append(rows, row)
-	}
-	return rows, total
-}
+// Batch driving lives in the flashfc Campaign API (EndToEndCampaign); the
+// pre-campaign wrappers (EndToEndBatch, Table54) are gone — aggregate
+// campaign results into Table54Row per fault type instead.
 
 // Fig57Point is one end-to-end suspension measurement.
 type Fig57Point struct {

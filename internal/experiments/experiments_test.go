@@ -47,7 +47,7 @@ func TestValidationPhasesPopulated(t *testing.T) {
 }
 
 func TestTable53SmallBatch(t *testing.T) {
-	rows, stats := Table53(fastValidationConfig(), 2, 7)
+	rows, stats := table53(fastValidationConfig(), 2, 7)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -70,8 +70,8 @@ func TestTable53ParallelBitIdenticalToSequential(t *testing.T) {
 	par := fastValidationConfig()
 	par.Workers = 8
 	for _, ft := range []fault.Type{fault.NodeFailure, fault.RouterFailure} {
-		a, _ := ValidationBatch(seq, ft, 6, 3)
-		b, _ := ValidationBatch(par, ft, 6, 3)
+		a, _ := validationBatch(seq, ft, 6, 3)
+		b, _ := validationBatch(par, ft, 6, 3)
 		if len(a) != len(b) {
 			t.Fatalf("%v: lengths differ", ft)
 		}
@@ -82,8 +82,8 @@ func TestTable53ParallelBitIdenticalToSequential(t *testing.T) {
 			}
 		}
 	}
-	rowsSeq, _ := Table53(seq, 4, 11)
-	rowsPar, _ := Table53(par, 4, 11)
+	rowsSeq, _ := table53(seq, 4, 11)
+	rowsPar, _ := table53(par, 4, 11)
 	if !reflect.DeepEqual(rowsSeq, rowsPar) {
 		t.Fatalf("Table53 rows diverge: %+v vs %+v", rowsSeq, rowsPar)
 	}
@@ -97,7 +97,7 @@ func TestTable53PanicIsolation(t *testing.T) {
 			panic("injected driver crash")
 		}
 	}
-	rows, stats := Table53(cfg, 4, 5)
+	rows, stats := table53(cfg, 4, 5)
 	if len(rows) != 5 {
 		t.Fatalf("campaign aborted: %d rows", len(rows))
 	}
@@ -124,7 +124,7 @@ func TestMeasureRecoveryScalesWithNodes(t *testing.T) {
 }
 
 func TestFig56L2Linear(t *testing.T) {
-	pts := Fig56L2([]uint64{512 << 10, 2 << 20, 4 << 20}, 3, 0)
+	pts := fig56L2([]uint64{512 << 10, 2 << 20, 4 << 20}, 3, 0)
 	if len(pts) != 3 {
 		t.Fatal("points missing")
 	}
@@ -138,11 +138,11 @@ func TestFig56L2Linear(t *testing.T) {
 }
 
 func TestFig56XCoordinates(t *testing.T) {
-	l2 := Fig56L2([]uint64{512 << 10, 4 << 20}, 3, 0)
+	l2 := fig56L2([]uint64{512 << 10, 4 << 20}, 3, 0)
 	if l2[0].X != 0.5 || l2[1].X != 4 {
 		t.Errorf("Fig56L2 X = %v, %v; want 0.5, 4 (MB)", l2[0].X, l2[1].X)
 	}
-	mem := Fig56Mem([]uint64{1 << 20, 16 << 20}, 3, 0)
+	mem := fig56Mem([]uint64{1 << 20, 16 << 20}, 3, 0)
 	if mem[0].X != 1 || mem[1].X != 16 {
 		t.Errorf("Fig56Mem X = %v, %v; want 1, 16 (MB)", mem[0].X, mem[1].X)
 	}
@@ -155,14 +155,14 @@ func TestFig56XCoordinates(t *testing.T) {
 			t.Error("point carries no event accounting")
 		}
 	}
-	n := Fig55([]int{8}, machine.TopoMesh, 3, 0)[0]
+	n := fig55([]int{8}, machine.TopoMesh, 3, 0)[0]
 	if n.X != 8 {
 		t.Errorf("Fig55 X = %v, want the node count", n.X)
 	}
 }
 
 func TestFig56MemLinear(t *testing.T) {
-	pts := Fig56Mem([]uint64{1 << 20, 16 << 20}, 3, 0)
+	pts := fig56Mem([]uint64{1 << 20, 16 << 20}, 3, 0)
 	r := float64(pts[1].Phases.Scan) / float64(pts[0].Phases.Scan)
 	if r < 8 || r > 24 {
 		t.Errorf("Scan(16MB)/Scan(1MB) = %.1f, want ~16", r)
@@ -174,8 +174,8 @@ func TestFig56MemLinear(t *testing.T) {
 }
 
 func TestHypercubeDisseminationFasterAtScale(t *testing.T) {
-	mesh := Fig55([]int{64}, machine.TopoMesh, 5, 0)[0]
-	hyper := Fig55([]int{64}, machine.TopoHypercube, 5, 0)[0]
+	mesh := fig55([]int{64}, machine.TopoMesh, 5, 0)[0]
+	hyper := fig55([]int{64}, machine.TopoHypercube, 5, 0)[0]
 	if !mesh.OK || !hyper.OK {
 		t.Fatal("incomplete runs")
 	}

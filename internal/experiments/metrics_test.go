@@ -33,7 +33,7 @@ func TestMergedMetricsJSONBitIdenticalAcrossWorkers(t *testing.T) {
 	jsonFor := func(workers int) []byte {
 		cfg := fastValidationConfig()
 		cfg.Workers = workers
-		results, _ := ValidationBatch(cfg, fault.NodeFailure, 6, 1)
+		results, _ := validationBatch(cfg, fault.NodeFailure, 6, 1)
 		var buf bytes.Buffer
 		if err := runner.MergeMetrics(collectSnaps(results)).WriteJSON(&buf); err != nil {
 			t.Fatalf("WriteJSON: %v", err)
@@ -76,7 +76,7 @@ func TestMetricsCoverEveryLayer(t *testing.T) {
 // its runs' snapshots, and every scaling point carries its own.
 func TestBatchDriversCarryMetrics(t *testing.T) {
 	cfg := fastValidationConfig()
-	rows, _ := Table53(cfg, 2, 1)
+	rows, _ := table53(cfg, 2, 1)
 	for _, row := range rows {
 		if row.Metrics == nil {
 			t.Fatalf("%v row has nil Metrics", row.Fault)

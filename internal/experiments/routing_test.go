@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"flashfc/internal/routing"
+	"flashfc/internal/runner"
+)
+
+// fastRoutingConfig shrinks the campaign enough for the unit suite.
+func fastRoutingConfig() RoutingConfig {
+	cfg := DefaultRoutingConfig()
+	cfg.FillLines = 64
+	cfg.Runs = 4
+	return cfg
+}
+
+func TestRoutingCampaignHeadToHead(t *testing.T) {
+	cfg := fastRoutingConfig()
+	res := RoutingCampaign(cfg, 7)
+	if len(res.Scenarios) != len(DefaultRoutingScenarios()) {
+		t.Fatalf("got %d scenarios", len(res.Scenarios))
+	}
+	for _, sc := range res.Scenarios {
+		if len(sc.Cells) != len(routing.Names()) {
+			t.Fatalf("%s: got %d cells, want one per strategy", sc.Spec.Name, len(sc.Cells))
+		}
+		for _, c := range sc.Cells {
+			if c.Failed != 0 {
+				t.Errorf("%s/%s: %d of %d runs failed", sc.Spec.Name, c.Strategy, c.Failed, c.Runs)
+			}
+			if c.Deadlocks != 0 {
+				t.Errorf("%s/%s: %d runs left a dependency cycle installed", sc.Spec.Name, c.Strategy, c.Deadlocks)
+			}
+			if c.RecoveryP50 <= 0 {
+				t.Errorf("%s/%s: no recovery time measured", sc.Spec.Name, c.Strategy)
+			}
+			if c.ThroughputP50 <= 0 {
+				t.Errorf("%s/%s: no post-recovery throughput measured", sc.Spec.Name, c.Strategy)
+			}
+		}
+	}
+}
+
+// TestRoutingRunsArePaired verifies the head-to-head contract: at the same
+// run seed, every strategy faces the identical fault set.
+func TestRoutingRunsArePaired(t *testing.T) {
+	cfg := fastRoutingConfig()
+	ws := WarmupValidation(cfg.ValidationConfig, runner.DeriveSeed(3, runner.StreamWarmup, 0))
+	spec := RoutingScenarioSpec{Name: "multi-link", Links: 2}
+	seed := routingRunSeed(3, 0, 1)
+	var faults [][]string
+	for _, name := range routing.Names() {
+		r := RoutingFromWarm(ws, name, spec, seed)
+		var fs []string
+		for _, f := range r.Faults {
+			fs = append(fs, f.String())
+		}
+		faults = append(faults, fs)
+	}
+	for i := 1; i < len(faults); i++ {
+		if !reflect.DeepEqual(faults[0], faults[i]) {
+			t.Fatalf("strategies %s and %s drew different faults: %v vs %v",
+				routing.Names()[0], routing.Names()[i], faults[0], faults[i])
+		}
+	}
+}
+
+// TestRoutingCampaignDeterministic pins the bit-identical contract across
+// worker counts and warm-start modes.
+func TestRoutingCampaignDeterministic(t *testing.T) {
+	base := fastRoutingConfig()
+	base.Runs = 2
+	base.Scenarios = []RoutingScenarioSpec{{Name: "single-link", Links: 1}}
+
+	ref := RoutingCampaign(base, 5)
+
+	workers := base
+	workers.Workers = 3
+	cold := base
+	cold.WarmStart = WarmStartOff
+
+	for label, cfg := range map[string]RoutingConfig{"workers=3": workers, "warmstart=off": cold} {
+		got := RoutingCampaign(cfg, 5)
+		if !reflect.DeepEqual(ref.Scenarios, got.Scenarios) {
+			t.Fatalf("%s changed the campaign result:\nref %+v\ngot %+v", label, ref.Scenarios, got.Scenarios)
+		}
+	}
+}
+
+// TestRoutingStrategyDiffers sanity-checks that the alternatives are not the
+// paper strategy in disguise: on a single dead link, incremental must charge
+// fewer reprogrammed entries, which surfaces as a shorter P3.
+func TestRoutingStrategyDiffers(t *testing.T) {
+	cfg := fastRoutingConfig()
+	ws := WarmupValidation(cfg.ValidationConfig, runner.DeriveSeed(9, runner.StreamWarmup, 0))
+	spec := RoutingScenarioSpec{Name: "single-link", Links: 1}
+	seed := routingRunSeed(9, 0, 0)
+	paper := RoutingFromWarm(ws, "paper", spec, seed)
+	incr := RoutingFromWarm(ws, "incremental", spec, seed)
+	if !paper.Recovered || !incr.Recovered {
+		t.Fatalf("runs did not recover: paper=%v incremental=%v", paper.Recovered, incr.Recovered)
+	}
+	if incr.P3 >= paper.P3 {
+		t.Errorf("incremental P3 %v not below paper's %v", incr.P3, paper.P3)
+	}
+}

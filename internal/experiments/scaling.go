@@ -4,7 +4,6 @@ import (
 	"flashfc/internal/fault"
 	"flashfc/internal/machine"
 	"flashfc/internal/metrics"
-	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/workload"
 )
@@ -22,6 +21,9 @@ type ScalingConfig struct {
 	FillLines int
 	Seed      int64
 	Deadline  sim.Time
+	// Routing names the recovery routing strategy ("" or "paper" keeps the
+	// byte-identical pre-strategy pipeline).
+	Routing string
 	// Victim selects the node to kill; -1 picks the middle of the mesh.
 	Victim int
 	// Knobs for the ablation studies.
@@ -79,6 +81,7 @@ func MeasureRecovery(cfg ScalingConfig) ScalingPoint {
 	mc.Seed = cfg.Seed
 	mc.MemBytes = cfg.MemBytes
 	mc.L2Bytes = cfg.L2Bytes
+	mc.Routing = cfg.Routing
 	if cfg.SpeculativePing != nil {
 		mc.Recovery.SpeculativePing = *cfg.SpeculativePing
 	}
@@ -113,48 +116,10 @@ func MeasureRecovery(cfg ScalingConfig) ScalingPoint {
 	}
 }
 
-// Fig55 sweeps the node counts of Fig 5.5 on the given topology, measuring
-// the points on up to `workers` goroutines (0 = one per CPU). Every point
-// uses the same seed, as in the paper's single-curve presentation.
-func Fig55(nodeCounts []int, topo machine.TopoKind, seed int64, workers int) []ScalingPoint {
-	return runner.Map(len(nodeCounts), workers, func(i int) ScalingPoint {
-		cfg := DefaultScalingConfig(nodeCounts[i])
-		cfg.Topo = topo
-		cfg.Seed = seed
-		return MeasureRecovery(cfg)
-	})
-}
-
-// Fig56L2 sweeps the second-level cache size at 4 nodes (Fig 5.6 left):
-// the flush (WB) component scales linearly with the L2 size. Points carry
-// the swept size in X (in MB) and are measured on up to `workers`
-// goroutines.
-func Fig56L2(l2Sizes []uint64, seed int64, workers int) []ScalingPoint {
-	return runner.Map(len(l2Sizes), workers, func(i int) ScalingPoint {
-		cfg := DefaultScalingConfig(4)
-		cfg.L2Bytes = l2Sizes[i]
-		cfg.MemBytes = 4 << 20
-		cfg.Seed = seed
-		p := MeasureRecovery(cfg)
-		p.X = float64(l2Sizes[i]) / (1 << 20)
-		return p
-	})
-}
-
-// Fig56Mem sweeps the per-node memory size at 4 nodes (Fig 5.6 right): the
-// directory-sweep component of P4 scales linearly with memory. Points
-// carry the swept size in X (in MB) and are measured on up to `workers`
-// goroutines.
-func Fig56Mem(memSizes []uint64, seed int64, workers int) []ScalingPoint {
-	return runner.Map(len(memSizes), workers, func(i int) ScalingPoint {
-		cfg := DefaultScalingConfig(4)
-		cfg.MemBytes = memSizes[i]
-		cfg.Seed = seed
-		p := MeasureRecovery(cfg)
-		p.X = float64(memSizes[i]) / (1 << 20)
-		return p
-	})
-}
+// The figure sweeps live in the flashfc Campaign API (Fig55Campaign,
+// Fig56L2Campaign, Fig56MemCampaign); the pre-campaign wrappers (Fig55,
+// Fig56L2, Fig56Mem) are gone — drive MeasureRecovery over the sweep
+// coordinates instead.
 
 // TriggerLatency measures the §4.2 recovery-triggering latency: the time
 // from fault injection until the last functioning node has dropped into

@@ -14,7 +14,6 @@ import (
 	"flashfc/internal/machine"
 	"flashfc/internal/metrics"
 	"flashfc/internal/obs"
-	"flashfc/internal/runner"
 	"flashfc/internal/sim"
 	"flashfc/internal/trace"
 	"flashfc/internal/workload"
@@ -80,6 +79,10 @@ type ValidationConfig struct {
 	// RegionLinkExtra overrides the extra inter-region wire latency of a
 	// partitioned machine; 0 uses machine.DefaultRegionLinkExtra.
 	RegionLinkExtra sim.Time
+	// Routing names the interconnect-recovery routing strategy the runs
+	// use ("" or "paper" is the paper's policy on the byte-identical
+	// pre-strategy path; see internal/routing).
+	Routing string
 	// WarmStart selects how batch drivers amortize the cache-fill warm-up:
 	// the default (Auto) builds one warmed machine snapshot per worker and
 	// forks every run from it; Off rebuilds the warm state per run. Both
@@ -132,6 +135,7 @@ func Validation(cfg ValidationConfig, ft fault.Type, seed int64) *ValidationResu
 	mc.Trace = cfg.Trace
 	mc.Partitions = cfg.Partitions
 	mc.RegionLinkExtra = cfg.RegionLinkExtra
+	mc.Routing = cfg.Routing
 	m := machine.New(mc)
 	f := fault.Random(m.E.Rand(), ft, m.Topo, 1)
 	res := &ValidationResult{Fault: f}
@@ -229,43 +233,7 @@ type Table53Row struct {
 	Metrics *metrics.Snapshot
 }
 
-// ValidationBatch runs `runs` independent validation experiments of one
-// fault type on a cfg.Workers-wide pool, returning the per-run results in
-// run order plus the batch's throughput accounting. Per-run seeds come
-// from runner.DeriveSeed(seed, StreamValidation+ft, i), so the batch is
-// bit-identical for any worker count; a run that panics is returned as a
-// failed Result instead of aborting the batch.
-//
-// Batches are warm-started (see WarmValidationBatch): every run forks a
-// warmed machine snapshot instead of filling caches from scratch, and
-// cfg.WarmStart controls whether the snapshot is shared per worker
-// (default) or rebuilt per run — the results are identical either way.
-func ValidationBatch(cfg ValidationConfig, ft fault.Type, runs int, seed int64) ([]runner.Result[*ValidationResult], runner.Stats) {
-	return WarmValidationBatch(cfg, ft, runs, seed)
-}
-
-// Table53 runs the full validation batch: `runs` experiments per fault
-// type, reporting failures per type (the paper's Table 5.3 reports 200
-// runs per type with zero failures) plus the campaign's aggregate
-// host-side throughput. A run that panics counts as failed.
-func Table53(cfg ValidationConfig, runs int, seed int64) ([]Table53Row, runner.Stats) {
-	var rows []Table53Row
-	var total runner.Stats
-	for _, ft := range fault.AllTypes() {
-		row := Table53Row{Fault: ft, Runs: runs}
-		results, stats := ValidationBatch(cfg, ft, runs, seed)
-		snaps := make([]*metrics.Snapshot, 0, len(results))
-		for _, r := range results {
-			if r.Err != nil || !r.Value.OK() {
-				row.Failed++
-			}
-			if r.Err == nil {
-				snaps = append(snaps, r.Value.Metrics)
-			}
-		}
-		row.Metrics = runner.MergeMetrics(snaps)
-		total.Merge(stats)
-		rows = append(rows, row)
-	}
-	return rows, total
-}
+// Batch driving lives in WarmValidationBatch (this package) and in the
+// flashfc Campaign API (ValidationCampaign); the pre-campaign wrappers
+// (ValidationBatch, Table53) are gone — aggregate WarmValidationBatch
+// results into Table53Row per fault type instead.

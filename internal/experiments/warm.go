@@ -58,6 +58,10 @@ func WarmupValidation(cfg ValidationConfig, warmSeed int64) *WarmState {
 	mc.Seed = warmSeed
 	mc.MemBytes = cfg.MemBytes
 	mc.L2Bytes = cfg.L2Bytes
+	// The strategy is carried in the snapshot config so forks recover with
+	// it; pristine tables are shared by every strategy, so the warm-up
+	// itself is strategy-independent.
+	mc.Routing = cfg.Routing
 	m := machine.New(mc)
 	filler := workload.NewFiller(m)
 	if cfg.FillLines > 0 && cfg.FillLines < filler.FillLines {

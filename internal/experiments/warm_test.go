@@ -57,7 +57,7 @@ func TestWarmOnOffBitIdenticalAcrossWorkers(t *testing.T) {
 			cfg := fastValidationConfig()
 			cfg.WarmStart = mode
 			cfg.Workers = workers
-			results, _ := ValidationBatch(cfg, fault.RouterFailure, 6, 3)
+			results, _ := validationBatch(cfg, fault.RouterFailure, 6, 3)
 			for i, r := range results {
 				if r.Err != nil {
 					t.Fatalf("mode=%v workers=%d run %d crashed: %v", mode, workers, i, r.Err)
@@ -90,7 +90,7 @@ func TestWarmOnOffBitIdenticalAcrossWorkers(t *testing.T) {
 func TestWarmMetricsGoldenSnapshot(t *testing.T) {
 	cfg := fastValidationConfig()
 	cfg.Workers = 4
-	results, _ := ValidationBatch(cfg, fault.NodeFailure, 4, 7)
+	results, _ := validationBatch(cfg, fault.NodeFailure, 4, 7)
 	for i, r := range results {
 		if r.Err != nil || !r.Value.OK() {
 			t.Fatalf("run %d failed: err=%v note=%s", i, r.Err, r.Value.Note)

@@ -40,6 +40,10 @@ type Config struct {
 	// engines of a partitioned simulation (see partition.go). Nil keeps
 	// the classic single-engine fabric, bit-for-bit.
 	Partition *Partition
+	// Tables, when non-nil, are the pristine routing tables to install at
+	// construction instead of the topology's defaults — the hook routing
+	// strategies use to own pristine-table generation.
+	Tables topology.Tables
 }
 
 // DefaultConfig returns the standard fabric parameters.
@@ -257,7 +261,10 @@ func New(e *sim.Engine, topo *topology.Topology, cfg Config) *Network {
 	n.mStalls = cfg.Metrics.Counter("interconnect.backpressure_stalls")
 	n.mTransient = cfg.Metrics.Counter("interconnect.transient_link_windows")
 	n.mLinkHeals = cfg.Metrics.Counter("interconnect.link_heals")
-	tables := topology.DefaultTables(topo)
+	tables := cfg.Tables
+	if tables == nil {
+		tables = topology.DefaultTables(topo)
+	}
 	for r := range n.routers {
 		deg := topo.Degree(r)
 		rs := &routerState{
@@ -289,6 +296,12 @@ func (n *Network) LinkAlive(l int) bool { return n.linkUp[l] }
 // entry per node). Used by interconnect recovery after the drain (§4.4).
 func (n *Network) SetRouterTable(r int, row []int) {
 	n.routers[r].table = append([]int(nil), row...)
+}
+
+// RouterTable returns a copy of router r's installed next-hop row, for
+// post-recovery deadlock-freedom verification.
+func (n *Network) RouterTable(r int) []int {
+	return append([]int(nil), n.routers[r].table...)
 }
 
 // SetDiscard reprograms router r to discard (or stop discarding) traffic

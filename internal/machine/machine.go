@@ -17,6 +17,7 @@ import (
 	"flashfc/internal/magic"
 	"flashfc/internal/metrics"
 	"flashfc/internal/proc"
+	"flashfc/internal/routing"
 	"flashfc/internal/sim"
 	"flashfc/internal/timing"
 	"flashfc/internal/topology"
@@ -58,6 +59,12 @@ type Config struct {
 	// Recovery carries recovery-algorithm options; machine wiring
 	// overwrites the callbacks and charge sizes.
 	Recovery core.Config
+	// Routing names the interconnect-recovery routing strategy
+	// (routing.Names: "paper", "incremental", "adaptive"). "" and "paper"
+	// build the exact pre-strategy machine — byte-identical goldens. Kept
+	// as a name rather than a routing.Strategy so snapshots serialize it
+	// and forks can override it (FromSnapshotRouting).
+	Routing string
 
 	// Partitions, when > 0, runs the machine's event core as a partitioned
 	// simulation: the mesh is decomposed into fixed regions (one engine
@@ -236,10 +243,20 @@ func build(cfg Config, snap *Snapshot) *Machine {
 	} else {
 		e = sim.NewEngine(cfg.Seed)
 	}
+	var strat routing.Strategy
+	if cfg.Routing != "" && cfg.Routing != "paper" {
+		var err error
+		if strat, err = routing.Get(cfg.Routing); err != nil {
+			panic("machine: " + err.Error())
+		}
+	}
 	icfg := interconnect.DefaultConfig()
 	icfg.Reliable = cfg.ReliableInterconnect
 	icfg.Metrics = reg
 	icfg.Trace = cfg.Trace
+	if strat != nil {
+		icfg.Tables = strat.PristineTables(topo)
+	}
 	if P != nil {
 		of := make([]int, topo.Routers())
 		engines := make([]*sim.Engine, regions.Count())
@@ -273,6 +290,7 @@ func build(cfg Config, snap *Snapshot) *Machine {
 	rcfg := cfg.Recovery
 	rcfg.Metrics = reg
 	rcfg.Trace = cfg.Trace
+	rcfg.Routing = strat
 	rcfg.ReliableInterconnect = rcfg.ReliableInterconnect || cfg.ReliableInterconnect
 	rcfg.FailureUnits = cfg.FailureUnits
 	rcfg.MemServes = func(n int) bool { return m.memSurvives[n] }
@@ -517,6 +535,24 @@ func (m *Machine) lostCacheContents(id int) {
 }
 
 // --- recovery bookkeeping ---------------------------------------------------
+
+// InstalledTables reads back every router's currently installed next-hop
+// row — the tables actually routing traffic, post-recovery patches
+// included.
+func (m *Machine) InstalledTables() topology.Tables {
+	tb := make(topology.Tables, m.Topo.Routers())
+	for r := range tb {
+		tb[r] = m.Net.RouterTable(r)
+	}
+	return tb
+}
+
+// RoutingAcyclic verifies deadlock freedom of the installed tables: their
+// channel-dependency graph on the true surviving topology must be acyclic.
+// The routing experiments check it after every recovery, per strategy.
+func (m *Machine) RoutingAcyclic() bool {
+	return m.InstalledTables().DependencyAcyclic(m.truth)
+}
 
 // Survivors returns the ids of nodes whose controller is functioning, whose
 // router works, and which sit in the largest surviving component (the "main

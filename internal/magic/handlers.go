@@ -231,21 +231,28 @@ func (c *Controller) handleRecall(msg *coherence.Message) {
 		return
 	}
 	home := msg.Req // Recall carries the home in Req
+	// The recall may have overtaken our own exclusive grant (it travels
+	// on the request lane, the grant on the reply lane): merge it into
+	// the outstanding miss and answer when the grant arrives. This must
+	// be checked before the resident-copy path: an upgrade (GetX from
+	// shared) leaves a clean shared copy in the cache, and answering the
+	// recall with it would unlock the home's pending transaction with
+	// stale data while our store commits into a copy the directory no
+	// longer tracks — the committed value then vanishes without any
+	// packet ever being lost.
+	for _, m := range c.mshrs {
+		if !m.uncached && m.excl && m.addr == msg.Addr {
+			c.Cache.Invalidate(msg.Addr)
+			m.recalled = true
+			m.recallHome = home
+			return
+		}
+	}
 	if l := c.Cache.Invalidate(msg.Addr); l != nil {
 		c.sendMsg(home, &coherence.Message{
 			Type: coherence.MsgPut, Addr: msg.Addr, Req: c.ID, Data: l.Token,
 		})
 		return
-	}
-	// The recall may have overtaken our own exclusive grant (it travels
-	// on the request lane, the grant on the reply lane): merge it into
-	// the outstanding miss and answer when the grant arrives.
-	for _, m := range c.mshrs {
-		if !m.uncached && m.excl && m.addr == msg.Addr {
-			m.recalled = true
-			m.recallHome = home
-			return
-		}
 	}
 	// Not resident: our eviction writeback is already ahead of this
 	// reply in the same channel (in-order delivery).

@@ -14,6 +14,10 @@ const (
 	StreamWarmup = 0x500
 	// StreamTail seeds the containment-time tail campaigns (+ fault type).
 	StreamTail = 0x600
+	// StreamRouting seeds the head-to-head routing campaigns (+ scenario
+	// index). Every strategy replays the same runs of a scenario, so the
+	// stream does NOT add the strategy — pairing is the point.
+	StreamRouting = 0x700
 )
 
 // DeriveSeed maps (base, stream, i) to a decorrelated engine seed with a

@@ -107,6 +107,11 @@ func linkIsUp(bft *BFT, r int, a Adj) bool {
 	return a.To < r
 }
 
+// UpTraversal reports whether traversing from r across a is an "up" move
+// under b's orientation — the relation UpDownTables routes by. Exported for
+// routing strategies that must reason about the same orientation.
+func (b *BFT) UpTraversal(r int, a Adj) bool { return linkIsUp(b, r, a) }
+
 // UpDownTables computes destination-based up*/down* routing tables over the
 // live portion of v, using bft for the link orientation. For every
 // destination the table is built in two waves: first the region that reaches

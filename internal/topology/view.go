@@ -50,6 +50,11 @@ func (v *View) usable(r int, a Adj) bool {
 	return v.LinkUp[a.Link] && v.RouterUp[a.To]
 }
 
+// Usable reports whether the edge a out of router r can be traversed: the
+// link and the far router are both up. Routing strategies outside this
+// package use it to walk the surviving graph.
+func (v *View) Usable(r int, a Adj) bool { return v.usable(r, a) }
+
 // BFT is a breadth-first tree over the live portion of a view.
 type BFT struct {
 	Root       int

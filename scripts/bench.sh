@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — refresh BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json,
-# BENCH_PR7.json and BENCH_PR8.json, the repo's performance trajectory
-# record.
+# BENCH_PR7.json, BENCH_PR8.json and BENCH_PR9.json, the repo's
+# performance trajectory record.
 #
 # First runs the PR 4 campaign benchmarks (16-node and 8-node node-failure
 # validation campaigns plus a Hive end-to-end campaign), keeps the best
@@ -17,10 +17,13 @@
 # warm-start sharing on and off) and emits BENCH_PR7.json with the campaign's
 # warm-vs-cold speedup. Finally runs the PR 8 observability pair (the same
 # tail campaign bare vs streamed through RunLog+Progress into io.Discard)
-# and emits BENCH_PR8.json with the per-run record-stream overhead.
+# and emits BENCH_PR8.json with the per-run record-stream overhead. Last,
+# the PR 9 routing pair replays the identical single-link fault scenario
+# under the paper and the adaptive recovery-routing strategies and emits
+# BENCH_PR9.json with the adaptive-vs-paper simulated-recovery-time ratio.
 #
 #   scripts/bench.sh                  # writes all files at the repo root
-#   scripts/bench.sh pr4.json pr5.json pr6.json pr7.json pr8.json
+#   scripts/bench.sh pr4.json pr5.json pr6.json pr7.json pr8.json pr9.json
 #   BENCH_TIME=5x BENCH_COUNT=5 scripts/bench.sh   # longer, steadier runs
 #
 # The acceptance bars recorded by the PRs: BenchmarkPR4Validation16 must show
@@ -28,9 +31,10 @@
 # tail_warm_speedup_vs_cold must be >= 1.5,
 # partitioned_speedup_1024 must be >= 1.5 on a host with 4+ free cores (the
 # partitioned engine's parallel windows cannot beat 1.5x with GOMAXPROCS
-# pinned to 1, so the PR6 bar is only enforced when host_cpus >= 4), and
-# observability_overhead must stay <= 1.05. Any bar
-# missed exits 2 after all files are written. CI only validates the files'
+# pinned to 1, so the PR6 bar is only enforced when host_cpus >= 4),
+# observability_overhead must stay <= 1.05, and
+# adaptive_vs_paper_recovery must be < 1 (simulated time, host-independent).
+# Any bar missed exits 2 after all files are written. CI only validates the files'
 # schemas (the shared runners are too noisy for a perf gate); refresh on
 # quiet hardware.
 set -euo pipefail
@@ -399,6 +403,80 @@ jq '{commit, observability_overhead}' "$out8" >&2
 # The PR 8 bar: streaming per-run records costs <= 5%.
 jq -e '.observability_overhead <= 1.05' "$out8" > /dev/null || {
   echo "bench.sh: WARNING — observability overhead above the 1.05x acceptance bar" >&2
+  rc=2
+}
+
+# --- PR 9: routing-strategy head-to-head -> BENCH_PR9.json ------------------
+#
+# The Paper/Adaptive pair replays the identical single-link head-to-head
+# scenario under each recovery-routing strategy (the run seeds never involve
+# the strategy, so the faults are byte-identical); each benchmark reports the
+# campaign's median simulated containment time as sim-recovery-ns/op.
+# adaptive_vs_paper_recovery is adaptive/paper — simulated time, so it is
+# host-independent. Acceptance: < 1 (the drain-free fault-region-avoiding
+# strategy must recover strictly faster than the paper's full-drain
+# whole-table rebuild).
+out9="${6:-BENCH_PR9.json}"
+raw9="$(mktemp)"
+trap 'rm -f "$raw" "$raw5" "$raw6" "$raw7" "$raw8" "$raw9"' EXIT
+
+cmd9=(go test -run '^$' -bench BenchmarkPR9 -benchmem -benchtime "$benchtime" -count "$count" .)
+echo "running: ${cmd9[*]}" >&2
+"${cmd9[@]}" | tee "$raw9" >&2
+
+# One record per benchmark: the repetition with the lowest ns/op. The
+# simulated recovery time is deterministic across repetitions.
+summary9="$(awk '
+  /^BenchmarkPR9/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = evs = evop = allocs = rec = 0
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op")              ns     = $i
+      if ($(i + 1) == "sim-events/s")       evs    = $i
+      if ($(i + 1) == "sim-events/op")      evop   = $i
+      if ($(i + 1) == "allocs/op")          allocs = $i
+      if ($(i + 1) == "sim-recovery-ns/op") rec    = $i
+    }
+    if (!(name in best) || ns < best[name]) {
+      best[name] = ns
+      line[name] = sprintf("{\"name\":\"%s\",\"ns_per_op\":%d,\"events_per_sec\":%d,\"sim_events_per_op\":%d,\"allocs_per_op\":%d,\"sim_recovery_ns\":%d}",
+                           name, ns, evs, evop, allocs, rec)
+    }
+  }
+  END { for (n in line) print line[n] }
+' "$raw9")"
+
+if [ -z "$summary9" ]; then
+  echo "bench.sh: no BenchmarkPR9 results parsed" >&2
+  exit 1
+fi
+
+jq -n \
+  --arg engine "pluggable recovery-routing strategies + head-to-head campaign (PR9)" \
+  --arg commit "$commit" \
+  --arg host "${host:-unknown}" \
+  --arg command "${cmd9[*]}" \
+  --slurpfile runs9 <(echo "$summary9") \
+  '($runs9 | map({key: .name, value: del(.name)}) | from_entries) as $b |
+   {
+    engine: $engine,
+    commit: $commit,
+    host: $host,
+    command: $command,
+    benchmarks: $b,
+    adaptive_vs_paper_recovery: (
+      ($b.BenchmarkPR9RoutingAdaptive.sim_recovery_ns / $b.BenchmarkPR9RoutingPaper.sim_recovery_ns * 1000 | round) / 1000
+    )
+  }' > "$out9"
+
+echo "wrote $out9" >&2
+jq '{commit, adaptive_vs_paper_recovery}' "$out9" >&2
+
+# The PR 9 bar: adaptive must beat the paper baseline on simulated recovery
+# time (the ratio is simulated, so it holds on any host).
+jq -e '.adaptive_vs_paper_recovery < 1' "$out9" > /dev/null || {
+  echo "bench.sh: WARNING — adaptive routing does not beat the paper baseline" >&2
   rc=2
 }
 
